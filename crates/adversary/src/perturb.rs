@@ -1,0 +1,187 @@
+//! Timing perturbation models.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use stepstone_flow::{FifoChannel, Flow, TimeDelta};
+
+use crate::pipeline::Transform;
+
+/// The paper's perturbation model: every packet is held for an
+/// independent uniform delay in `[0, max]`, applied through a FIFO queue
+/// so packet order is preserved (assumption 3).
+///
+/// The experiment grid uses `max ∈ {0, 1, …, 8}` seconds, always set
+/// equal to the matcher's maximum-delay bound `Δ`.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_adversary::{Transform, UniformPerturbation};
+/// use stepstone_flow::{Flow, TimeDelta, Timestamp};
+/// use stepstone_traffic::Seed;
+///
+/// # fn main() -> Result<(), stepstone_flow::FlowError> {
+/// let f = Flow::from_timestamps((0..20).map(Timestamp::from_secs))?;
+/// let p = UniformPerturbation::new(TimeDelta::from_secs(2));
+/// let g = p.apply_with(&f, &mut Seed::new(1).rng(0));
+/// for i in 0..f.len() {
+///     let d = g.timestamp(i) - f.timestamp(i);
+///     assert!(d >= TimeDelta::ZERO);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformPerturbation {
+    max: TimeDelta,
+}
+
+impl UniformPerturbation {
+    /// Creates a perturbation bounded by `max`. `max` may be zero (the
+    /// paper's "no perturbation" grid point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is negative.
+    pub fn new(max: TimeDelta) -> Self {
+        assert!(!max.is_negative(), "perturbation bound must be non-negative");
+        UniformPerturbation { max }
+    }
+
+    /// The maximum per-packet delay.
+    pub const fn max(&self) -> TimeDelta {
+        self.max
+    }
+}
+
+impl Transform for UniformPerturbation {
+    fn apply_with(&self, flow: &Flow, rng: &mut ChaCha8Rng) -> Flow {
+        if self.max == TimeDelta::ZERO {
+            return flow.clone();
+        }
+        let max = self.max.as_micros();
+        FifoChannel::new().apply_fn(flow, |_, _| TimeDelta::from_micros(rng.gen_range(0..=max)))
+    }
+
+    fn label(&self) -> String {
+        format!("uniform-perturb(max={})", self.max)
+    }
+}
+
+/// Delays every packet by a fixed amount — a pure time shift.
+///
+/// Useful as a baseline perturbation that carries no timing information
+/// loss, and for aligning clocks in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantDelay {
+    delay: TimeDelta,
+}
+
+impl ConstantDelay {
+    /// Creates a constant delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn new(delay: TimeDelta) -> Self {
+        assert!(!delay.is_negative(), "delay must be non-negative");
+        ConstantDelay { delay }
+    }
+
+    /// The fixed delay.
+    pub const fn delay(&self) -> TimeDelta {
+        self.delay
+    }
+}
+
+impl Transform for ConstantDelay {
+    fn apply_with(&self, flow: &Flow, _rng: &mut ChaCha8Rng) -> Flow {
+        flow.shifted(self.delay)
+    }
+
+    fn label(&self) -> String {
+        format!("constant-delay({})", self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+    use stepstone_traffic::Seed;
+
+    fn flow(n: usize) -> Flow {
+        Flow::from_timestamps((0..n as i64).map(Timestamp::from_secs)).unwrap()
+    }
+
+    #[test]
+    fn zero_bound_is_identity() {
+        let f = flow(50);
+        let p = UniformPerturbation::new(TimeDelta::ZERO);
+        assert_eq!(p.apply_with(&f, &mut Seed::new(1).rng(0)), f);
+    }
+
+    #[test]
+    fn delays_stay_in_bounds_for_sparse_flows() {
+        // With 1s spacing and 0.5s max delay, FIFO never kicks in, so
+        // every per-packet delay is within [0, max].
+        let f = flow(200);
+        let max = TimeDelta::from_millis(500);
+        let p = UniformPerturbation::new(max);
+        let g = p.apply_with(&f, &mut Seed::new(2).rng(0));
+        for i in 0..f.len() {
+            let d = g.timestamp(i) - f.timestamp(i);
+            assert!(d >= TimeDelta::ZERO && d <= max, "{d}");
+        }
+    }
+
+    #[test]
+    fn order_survives_large_perturbation() {
+        let f = flow(100);
+        let p = UniformPerturbation::new(TimeDelta::from_secs(8));
+        let g = p.apply_with(&f, &mut Seed::new(3).rng(0));
+        for w in g.packets().windows(2) {
+            assert!(w[0].timestamp() <= w[1].timestamp());
+        }
+        assert_eq!(g.len(), f.len());
+    }
+
+    #[test]
+    fn perturbation_uses_the_whole_range() {
+        let f = flow(2000);
+        let max = TimeDelta::from_millis(800);
+        let p = UniformPerturbation::new(max);
+        let g = p.apply_with(&f, &mut Seed::new(4).rng(0));
+        let delays: Vec<f64> = (0..f.len())
+            .map(|i| (g.timestamp(i) - f.timestamp(i)).as_secs_f64())
+            .collect();
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        // Mean of U(0, 0.8) is 0.4 (FIFO effects are negligible at 1s spacing).
+        assert!((mean - 0.4).abs() < 0.03, "mean delay {mean}");
+        assert!(delays.iter().any(|&d| d < 0.1));
+        assert!(delays.iter().any(|&d| d > 0.7));
+    }
+
+    #[test]
+    fn constant_delay_is_exact_shift() {
+        let f = flow(5);
+        let t = ConstantDelay::new(TimeDelta::from_secs(3));
+        let g = t.apply_with(&f, &mut Seed::new(5).rng(0));
+        assert_eq!(g, f.shifted(TimeDelta::from_secs(3)));
+        assert_eq!(t.delay(), TimeDelta::from_secs(3));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(UniformPerturbation::new(TimeDelta::from_secs(7))
+            .label()
+            .contains("uniform-perturb"));
+        assert!(ConstantDelay::new(TimeDelta::ZERO).label().contains("constant"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_bound() {
+        let _ = UniformPerturbation::new(TimeDelta::from_micros(-1));
+    }
+}

@@ -1,0 +1,174 @@
+//! The basic IPD watermark scheme of ref \[7\] as a detector.
+
+use stepstone_core::Correlation;
+use stepstone_flow::Flow;
+use stepstone_watermark::{BitLayout, IpdWatermarker, Watermark, WatermarkError};
+
+/// Detects a watermark by position-aligned decoding: packet `i` of the
+/// upstream flow is assumed to be packet `i` of the suspicious flow.
+///
+/// This is the scheme the paper builds on — robust against random
+/// timing perturbation (the embedded shift survives zero-mean noise)
+/// but defenceless against chaff, which shifts every packet position
+/// and turns the decode into coin flips. Cost is constant: two packet
+/// accesses per embedding pair.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_baselines::BasicWatermarkDetector;
+/// use stepstone_flow::{Flow, Timestamp};
+/// use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let flow = Flow::from_timestamps((0..200).map(Timestamp::from_secs))?;
+/// let marker = IpdWatermarker::new(WatermarkKey::new(1), WatermarkParams::small());
+/// let w = Watermark::random(8, &mut WatermarkKey::new(2).rng(1));
+/// let marked = marker.embed(&flow, &w)?;
+///
+/// let detector = BasicWatermarkDetector::new(marker, w, &flow)?;
+/// assert!(detector.correlate(&marked).correlated);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicWatermarkDetector {
+    marker: IpdWatermarker,
+    watermark: Watermark,
+    layout: BitLayout,
+}
+
+impl BasicWatermarkDetector {
+    /// Creates a detector for the watermark embedded into `original`
+    /// (the unmarked upstream flow, from which the layout re-derives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::FlowTooShort`] if `original` cannot
+    /// host the layout and [`WatermarkError::LengthMismatch`] if the
+    /// watermark length does not match the marker's parameters.
+    pub fn new(
+        marker: IpdWatermarker,
+        watermark: Watermark,
+        original: &Flow,
+    ) -> Result<Self, WatermarkError> {
+        if watermark.len() != marker.params().bits {
+            return Err(WatermarkError::LengthMismatch {
+                expected: marker.params().bits,
+                actual: watermark.len(),
+            });
+        }
+        let layout = marker.layout_for_flow(original)?;
+        Ok(BasicWatermarkDetector {
+            marker,
+            watermark,
+            layout,
+        })
+    }
+
+    /// The constant decode cost in packet accesses (two per pair).
+    pub fn decode_cost(&self) -> u64 {
+        (self.marker.params().pairs_needed() * 2) as u64
+    }
+
+    /// Position-aligned detection. A suspicious flow too short to index
+    /// is immediately not correlated.
+    pub fn correlate(&self, suspicious: &Flow) -> Correlation {
+        match self.marker.decode_aligned(suspicious, &self.layout) {
+            Ok(decoded) => {
+                let hamming = self.watermark.hamming_distance(&decoded);
+                Correlation {
+                    correlated: hamming <= self.marker.params().threshold,
+                    hamming: Some(hamming),
+                    best: Some(decoded),
+                    cost: self.decode_cost(),
+                    matching_cost: 0,
+                    completed: true,
+                }
+            }
+            Err(_) => Correlation {
+                correlated: false,
+                hamming: None,
+                best: None,
+                cost: 0,
+                matching_cost: 0,
+                completed: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use stepstone_flow::Timestamp;
+    use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+    use stepstone_watermark::{WatermarkKey, WatermarkParams};
+
+    fn interactive(n: usize, seed: u64) -> Flow {
+        SessionGenerator::new(InteractiveProfile::ssh()).generate(
+            n,
+            Timestamp::ZERO,
+            &mut Seed::new(seed).rng(0),
+        )
+    }
+
+    fn setup(seed: u64) -> (BasicWatermarkDetector, Flow) {
+        let flow = interactive(600, seed);
+        let marker = IpdWatermarker::new(WatermarkKey::new(seed), WatermarkParams::paper());
+        let w = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+        let marked = marker.embed(&flow, &w).unwrap();
+        (
+            BasicWatermarkDetector::new(marker, w, &flow).unwrap(),
+            marked,
+        )
+    }
+
+    #[test]
+    fn detects_clean_marked_flow() {
+        let (d, marked) = setup(1);
+        let out = d.correlate(&marked);
+        assert!(out.correlated);
+        assert!(out.hamming.unwrap() <= 2);
+        assert_eq!(out.cost, d.decode_cost());
+    }
+
+    #[test]
+    fn short_flow_is_not_correlated_at_zero_cost() {
+        let (d, marked) = setup(2);
+        let out = d.correlate(&marked.subsequence(0..10).unwrap());
+        assert!(!out.correlated);
+        assert_eq!(out.hamming, None);
+        assert_eq!(out.cost, 0);
+    }
+
+    #[test]
+    fn rejects_wrong_watermark_length() {
+        let flow = interactive(600, 3);
+        let marker = IpdWatermarker::new(WatermarkKey::new(3), WatermarkParams::paper());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let w = Watermark::random(8, &mut rng);
+        assert!(matches!(
+            BasicWatermarkDetector::new(marker, w, &flow),
+            Err(WatermarkError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_is_constant_in_suspicious_length() {
+        let (d, marked) = setup(4);
+        let a = d.correlate(&marked).cost;
+        let longer = marked.merged_with(
+            &Flow::from_packets((0..500).map(|i| {
+                stepstone_flow::Packet::chaff(
+                    Timestamp::from_millis(i * 100 + 7),
+                    48,
+                )
+            }))
+            .unwrap(),
+        );
+        let b = d.correlate(&longer).cost;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Design-choice ablations: how the choices DESIGN.md calls out affect
+//! correlation runtime. The matching quality ablations (detection/FPR
+//! tables for the same sweeps) are produced by
+//! `repro ablations` — these benches cover the cost axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stepstone_bench::Fixture;
+use stepstone_core::{Algorithm, Phase1Scope, WatermarkCorrelator};
+use stepstone_flow::TimeDelta;
+use stepstone_watermark::WatermarkParams;
+
+/// Phase-1 scope: all-packets simplification (the paper's rule) vs
+/// embedding-packets-only (cheaper, more permissive).
+fn ablation_tightening(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let mut group = c.benchmark_group("ablation_tightening");
+    for (name, scope) in [
+        ("all_packets", Phase1Scope::AllPackets),
+        ("embedding_only", Phase1Scope::EmbeddingOnly),
+    ] {
+        let correlator = WatermarkCorrelator::new(
+            fx.marker,
+            fx.watermark.clone(),
+            fx.delta(),
+            Algorithm::GreedyPlus,
+        )
+        .with_phase1_scope(scope);
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_function(BenchmarkId::new("correlated", name), |b| {
+            b.iter(|| prepared.correlate(&fx.correlated))
+        });
+        group.bench_function(BenchmarkId::new("uncorrelated", name), |b| {
+            b.iter(|| prepared.correlate(&fx.uncorrelated))
+        });
+    }
+    group.finish();
+}
+
+/// Watermark adjustment `a`: smaller adjustments leave more mismatched
+/// bits for the later phases to chase.
+fn ablation_wm_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wm_delay");
+    group.sample_size(20);
+    for millis in [300i64, 600, 1200, 2400] {
+        let params = WatermarkParams::paper().with_adjustment(TimeDelta::from_millis(millis));
+        let fx = Fixture::with_params(params, 1000);
+        let correlator = WatermarkCorrelator::new(
+            fx.marker,
+            fx.watermark.clone(),
+            fx.delta(),
+            Algorithm::GreedyPlus,
+        );
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(millis), &fx, |b, fx| {
+            b.iter(|| prepared.correlate(&fx.correlated))
+        });
+    }
+    group.finish();
+}
+
+/// Redundancy `r`: endpoint count scales linearly with `r`.
+fn ablation_redundancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_redundancy");
+    group.sample_size(20);
+    for r in [2usize, 4, 6] {
+        let params = WatermarkParams::paper().with_redundancy(r);
+        let fx = Fixture::with_params(params, 1500);
+        let correlator = WatermarkCorrelator::new(
+            fx.marker,
+            fx.watermark.clone(),
+            fx.delta(),
+            Algorithm::GreedyPlus,
+        );
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(r), &fx, |b, fx| {
+            b.iter(|| prepared.correlate(&fx.correlated))
+        });
+    }
+    group.finish();
+}
+
+/// Optimal's cost bound: the paper's 10⁶ vs a tight and a loose bound.
+fn ablation_cost_bound(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let mut group = c.benchmark_group("ablation_cost_bound");
+    for bound in [10_000u64, 1_000_000, 100_000_000] {
+        let correlator = WatermarkCorrelator::new(
+            fx.marker,
+            fx.watermark.clone(),
+            fx.delta(),
+            Algorithm::Optimal { cost_bound: bound },
+        )
+        // The permissive phase-1 scope pushes work into the bounded
+        // search so the bound actually matters.
+        .with_phase1_scope(Phase1Scope::EmbeddingOnly);
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &fx, |b, fx| {
+            b.iter(|| prepared.correlate(&fx.uncorrelated))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_tightening,
+    ablation_wm_delay,
+    ablation_redundancy,
+    ablation_cost_bound
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Per-algorithm correlation micro-benchmarks at the headline grid
+//! point (Δ = 7 s, λc = 3) — wall-clock companions to the paper's
+//! packets-accessed cost metric (Figs 7–10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stepstone_baselines::{BasicWatermarkDetector, ZhangGuanDetector};
+use stepstone_bench::Fixture;
+use stepstone_core::{Algorithm, WatermarkCorrelator};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let algorithms = [
+        ("greedy", Algorithm::Greedy),
+        ("greedy_plus", Algorithm::GreedyPlus),
+        ("optimal", Algorithm::optimal_paper()),
+    ];
+
+    let mut group = c.benchmark_group("correlated");
+    for (name, alg) in algorithms {
+        let correlator =
+            WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_function(name, |b| b.iter(|| prepared.correlate(&fx.correlated)));
+    }
+    {
+        let basic =
+            BasicWatermarkDetector::new(fx.marker, fx.watermark.clone(), &fx.original).unwrap();
+        group.bench_function("basic_wm", |b| b.iter(|| basic.correlate(&fx.correlated)));
+        let zhang = ZhangGuanDetector::paper(fx.delta());
+        group.bench_function("zhang", |b| {
+            b.iter(|| zhang.correlate(&fx.marked, &fx.correlated))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("uncorrelated");
+    for (name, alg) in algorithms {
+        let correlator =
+            WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
+        let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
+        group.bench_function(name, |b| b.iter(|| prepared.correlate(&fx.uncorrelated)));
+    }
+    {
+        let zhang = ZhangGuanDetector::paper(fx.delta());
+        group.bench_function("zhang", |b| {
+            b.iter(|| zhang.correlate(&fx.marked, &fx.uncorrelated))
+        });
+    }
+    group.finish();
+
+    // Preparation (layout derivation + endpoint flattening), amortized
+    // across a false-positive sweep in practice.
+    let mut group = c.benchmark_group("prepare");
+    let correlator = WatermarkCorrelator::new(
+        fx.marker,
+        fx.watermark.clone(),
+        fx.delta(),
+        Algorithm::GreedyPlus,
+    );
+    group.bench_function("greedy_plus", |b| {
+        b.iter(|| correlator.prepare(&fx.original, &fx.marked).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

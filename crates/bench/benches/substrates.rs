@@ -1,0 +1,105 @@
+//! Substrate micro-benchmarks: every subsystem the correlation pipeline
+//! sits on, in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stepstone_adversary::{ChaffInjector, ChaffModel, Transform, UniformPerturbation};
+use stepstone_bench::Fixture;
+use stepstone_flow::{TimeDelta, Timestamp};
+use stepstone_matching::{CostMeter, Matcher};
+use stepstone_netsim::SteppingStoneChain;
+use stepstone_traffic::{tcplib::TelnetModel, InteractiveProfile, Seed, SessionGenerator};
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic");
+    group.bench_function("interactive_1000", |b| {
+        let gen = SessionGenerator::new(InteractiveProfile::ssh());
+        let mut rng = Seed::new(1).rng(0);
+        b.iter(|| gen.generate(1000, Timestamp::ZERO, &mut rng))
+    });
+    group.bench_function("tcplib_1000", |b| {
+        let model = TelnetModel::new();
+        let mut rng = Seed::new(2).rng(0);
+        b.iter(|| model.generate(1000, Timestamp::ZERO, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(40), TimeDelta::from_millis(20))
+        .hop(TimeDelta::from_millis(60), TimeDelta::from_millis(30))
+        .build();
+    c.bench_function("netsim/two_hop_1000", |b| {
+        b.iter(|| chain.simulate(&fx.marked, Seed::new(3)))
+    });
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let mut group = c.benchmark_group("adversary");
+    group.bench_function("perturb_7s", |b| {
+        let t = UniformPerturbation::new(TimeDelta::from_secs(7));
+        let mut rng = Seed::new(4).rng(0);
+        b.iter(|| t.apply_with(&fx.marked, &mut rng))
+    });
+    group.bench_function("chaff_poisson_3", |b| {
+        let t = ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 });
+        let mut rng = Seed::new(5).rng(0);
+        b.iter(|| t.apply_with(&fx.marked, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_watermark(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let mut group = c.benchmark_group("watermark");
+    group.bench_function("embed_paper_1000", |b| {
+        b.iter(|| fx.marker.embed(&fx.original, &fx.watermark).unwrap())
+    });
+    group.bench_function("layout_derive", |b| {
+        b.iter(|| fx.marker.layout_for_flow(&fx.original).unwrap())
+    });
+    let layout = fx.marker.layout_for_flow(&fx.original).unwrap();
+    group.bench_function("decode_aligned", |b| {
+        b.iter(|| fx.marker.decode_aligned(&fx.marked, &layout).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let fx = Fixture::standard();
+    let matcher = Matcher::new(fx.delta());
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("matching_sets", |b| {
+        b.iter(|| {
+            let mut meter = CostMeter::new();
+            matcher
+                .matching_sets(&fx.marked, &fx.correlated, &mut meter)
+                .unwrap()
+        })
+    });
+    group.bench_function("tighten", |b| {
+        let mut meter = CostMeter::new();
+        let sets = matcher
+            .matching_sets(&fx.marked, &fx.correlated, &mut meter)
+            .unwrap();
+        b.iter(|| {
+            let mut s = sets.clone();
+            let mut meter = CostMeter::new();
+            assert!(s.tighten(&mut meter));
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_traffic,
+    bench_netsim,
+    bench_adversary,
+    bench_watermark,
+    bench_matching
+);
+criterion_main!(benches);

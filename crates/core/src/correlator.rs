@@ -1,0 +1,336 @@
+//! The correlator: matching + algorithm dispatch.
+
+use stepstone_flow::{Flow, TimeDelta};
+use stepstone_matching::{CostMeter, Matcher, MatchingSets};
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkError};
+
+use crate::brute::run_brute_force;
+use crate::endpoint::EndpointPlan;
+use crate::greedy::run_greedy;
+use crate::greedy_plus::{decode_selection, improve, repair_order};
+use crate::optimal::{exhaustive_search, free_mask_for};
+use crate::outcome::{Algorithm, Correlation};
+
+/// How widely the Greedy+ phase-1 simplification prunes matching sets
+/// (an ablation knob; see the `ablation_tightening` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase1Scope {
+    /// Simplify every upstream packet's matching set (the paper's rule;
+    /// for interval matching sets the iterated duplicate-first/last
+    /// removal is exactly the strict-increase fixpoint over all
+    /// packets). Detects infeasible complete matchings early.
+    #[default]
+    AllPackets,
+    /// Simplify only the embedding packets' matching sets against each
+    /// other. Cheaper and more permissive: borderline flows reach the
+    /// later phases instead of being rejected in phase 1.
+    EmbeddingOnly,
+}
+
+/// Correlates suspicious flows against one watermarked upstream flow
+/// using a chosen best-watermark algorithm.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct WatermarkCorrelator {
+    marker: IpdWatermarker,
+    watermark: Watermark,
+    delta: TimeDelta,
+    algorithm: Algorithm,
+    size_quantum: Option<u32>,
+    phase1_scope: Phase1Scope,
+}
+
+impl WatermarkCorrelator {
+    /// Creates a correlator.
+    ///
+    /// `delta` is the paper's maximum delay `Δ` (timestamp adjustment
+    /// error + attacker perturbation + network delays, §2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermark length does not match the marker's
+    /// parameters or `delta` is negative.
+    pub fn new(
+        marker: IpdWatermarker,
+        watermark: Watermark,
+        delta: TimeDelta,
+        algorithm: Algorithm,
+    ) -> Self {
+        assert_eq!(
+            watermark.len(),
+            marker.params().bits,
+            "watermark length must match the scheme's bit count"
+        );
+        assert!(!delta.is_negative(), "maximum delay must be non-negative");
+        WatermarkCorrelator {
+            marker,
+            watermark,
+            delta,
+            algorithm,
+            size_quantum: None,
+            phase1_scope: Phase1Scope::default(),
+        }
+    }
+
+    /// Overrides the phase-1 simplification scope (ablation knob).
+    #[must_use]
+    pub fn with_phase1_scope(mut self, scope: Phase1Scope) -> Self {
+        self.phase1_scope = scope;
+        self
+    }
+
+    /// Enables the quantized-packet-size matching constraint (§3.2).
+    #[must_use]
+    pub fn with_size_quantum(mut self, quantum: u32) -> Self {
+        self.size_quantum = Some(quantum);
+        self
+    }
+
+    /// The algorithm in use.
+    pub const fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The maximum delay `Δ`.
+    pub const fn delta(&self) -> TimeDelta {
+        self.delta
+    }
+
+    /// The original watermark the detector searches for.
+    pub const fn watermark(&self) -> &Watermark {
+        &self.watermark
+    }
+
+    /// The underlying watermarker (key + parameters).
+    pub const fn marker(&self) -> &IpdWatermarker {
+        &self.marker
+    }
+
+    /// Prepares per-upstream state shared across many suspicious flows:
+    /// the embedding layout (re-derived from the `original` unmarked
+    /// flow, exactly as the embedder derived it) and the flattened
+    /// endpoint plan. `marked` is the watermarked flow as observed on
+    /// the wire — the timestamps matching runs against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::FlowTooShort`] if `original` cannot
+    /// host the layout, and [`WatermarkError::LengthMismatch`] if
+    /// `marked` does not have the same number of packets as `original`.
+    pub fn prepare<'a>(
+        &'a self,
+        original: &Flow,
+        marked: &'a Flow,
+    ) -> Result<PreparedCorrelator<'a>, WatermarkError> {
+        if original.len() != marked.len() {
+            return Err(WatermarkError::LengthMismatch {
+                expected: original.len(),
+                actual: marked.len(),
+            });
+        }
+        let layout = self.marker.layout_for_flow(original)?;
+        let plan = EndpointPlan::build(&layout, &self.watermark);
+        Ok(PreparedCorrelator {
+            cfg: self,
+            upstream: marked,
+            plan,
+        })
+    }
+}
+
+/// A correlator bound to one watermarked upstream flow; cheap to reuse
+/// against many suspicious flows (e.g. false-positive sweeps).
+///
+/// Produced by [`WatermarkCorrelator::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedCorrelator<'a> {
+    cfg: &'a WatermarkCorrelator,
+    upstream: &'a Flow,
+    plan: EndpointPlan,
+}
+
+impl PreparedCorrelator<'_> {
+    /// The upstream (watermarked) flow.
+    pub fn upstream(&self) -> &Flow {
+        self.upstream
+    }
+
+    /// Decides whether `suspicious` is a downstream flow of the prepared
+    /// upstream flow, reporting the paper's three measurables: the
+    /// decision, the best watermark's Hamming distance, and the cost in
+    /// packet accesses.
+    pub fn correlate(&self, suspicious: &Flow) -> Correlation {
+        let cfg = self.cfg;
+        let threshold = cfg.marker.params().threshold;
+        let wanted = &cfg.watermark;
+        let mut meter = CostMeter::new();
+        let mut matcher = Matcher::new(cfg.delta);
+        if let Some(q) = cfg.size_quantum {
+            matcher = matcher.with_size_quantum(q);
+        }
+        let Some(mut sets) = matcher.matching_sets(self.upstream, suspicious, &mut meter) else {
+            // Greedy never gets to decode, so under the paper's cost
+            // convention (matching is not charged to Greedy) a failed
+            // matching costs it nothing.
+            let cost = if matches!(cfg.algorithm, Algorithm::Greedy) {
+                0
+            } else {
+                meter.count()
+            };
+            return Correlation::unmatched(cost, meter.count());
+        };
+        let matching_cost = meter.count();
+
+        match cfg.algorithm {
+            Algorithm::Greedy => {
+                let (_, state) = run_greedy(&self.plan, &sets, suspicious, &mut meter);
+                let hamming = state.hamming(wanted);
+                Correlation {
+                    correlated: hamming <= threshold,
+                    hamming: Some(hamming),
+                    best: Some(state.watermark()),
+                    cost: meter.count() - matching_cost,
+                    matching_cost,
+                    completed: true,
+                }
+            }
+            Algorithm::GreedyPlus => {
+                let (mut sel, mut state, fixable) =
+                    match self.phases_1_to_3(&mut sets, suspicious, matching_cost, &mut meter) {
+                        Phases::Unrelated => {
+                            return Correlation::unmatched(meter.count(), matching_cost)
+                        }
+                        Phases::EarlyReject(c) => return c,
+                        Phases::Ready(x) => x,
+                    };
+                let mut hamming = state.hamming(wanted);
+                if hamming > threshold {
+                    improve(
+                        &self.plan, &sets, suspicious, &mut sel, &mut state, wanted, threshold,
+                        &fixable, &mut meter, None,
+                    );
+                    hamming = state.hamming(wanted);
+                }
+                Correlation {
+                    correlated: hamming <= threshold,
+                    hamming: Some(hamming),
+                    best: Some(state.watermark()),
+                    cost: meter.count(),
+                    matching_cost,
+                    completed: true,
+                }
+            }
+            Algorithm::Optimal { cost_bound } => {
+                let (sel, state, fixable) =
+                    match self.phases_1_to_3(&mut sets, suspicious, matching_cost, &mut meter) {
+                        Phases::Unrelated => {
+                            return Correlation::unmatched(meter.count(), matching_cost)
+                        }
+                        Phases::EarlyReject(c) => return c,
+                        Phases::Ready(x) => x,
+                    };
+                let hamming = state.hamming(wanted);
+                if hamming <= threshold {
+                    return Correlation {
+                        correlated: true,
+                        hamming: Some(hamming),
+                        best: Some(state.watermark()),
+                        cost: meter.count(),
+                        matching_cost,
+                        completed: true,
+                    };
+                }
+                let free = free_mask_for(&self.plan, &state, wanted, &fixable);
+                let r = exhaustive_search(
+                    &self.plan, &sets, suspicious, &sel, &state, &free, wanted, threshold,
+                    cost_bound, &mut meter,
+                );
+                let hamming = r.state.hamming(wanted);
+                Correlation {
+                    correlated: hamming <= threshold,
+                    hamming: Some(hamming),
+                    best: Some(r.state.watermark()),
+                    cost: meter.count(),
+                    matching_cost,
+                    completed: r.completed,
+                }
+            }
+            Algorithm::BruteForce { cost_bound } => {
+                if !self.phase1(&mut sets, &mut meter) {
+                    return Correlation::unmatched(meter.count(), matching_cost);
+                }
+                let r = run_brute_force(
+                    &self.plan, &sets, suspicious, wanted, threshold, cost_bound, &mut meter,
+                );
+                let hamming = r.state.hamming(wanted);
+                Correlation {
+                    correlated: hamming <= threshold,
+                    hamming: Some(hamming),
+                    best: Some(r.state.watermark()),
+                    cost: meter.count(),
+                    matching_cost,
+                    completed: r.completed,
+                }
+            }
+        }
+    }
+
+    /// Runs the phase-1 simplification under the configured scope.
+    fn phase1(&self, sets: &mut MatchingSets, meter: &mut CostMeter) -> bool {
+        match self.cfg.phase1_scope {
+            Phase1Scope::AllPackets => sets.tighten(meter),
+            Phase1Scope::EmbeddingOnly => sets.tighten_subset(&self.plan.ups(), meter),
+        }
+    }
+
+    /// Phases 1–3 shared by Greedy+ and Optimal: tighten, Greedy with
+    /// early reject, order repair.
+    fn phases_1_to_3(
+        &self,
+        sets: &mut MatchingSets,
+        suspicious: &Flow,
+        matching_cost: u64,
+        meter: &mut CostMeter,
+    ) -> Phases {
+        let wanted = &self.cfg.watermark;
+        let threshold = self.cfg.marker.params().threshold;
+        // Phase 1: simplification (the paper's duplicate-first/last
+        // removal; scope per configuration).
+        if !self.phase1(sets, meter) {
+            return Phases::Unrelated;
+        }
+        // Phase 2: Greedy early reject — bits Greedy cannot decode will
+        // not match under any order-consistent selection either.
+        let (greedy_sel, greedy_state) = run_greedy(&self.plan, sets, suspicious, meter);
+        let greedy_hamming = greedy_state.hamming(wanted);
+        if greedy_hamming > threshold {
+            return Phases::EarlyReject(Correlation {
+                correlated: false,
+                hamming: Some(greedy_hamming),
+                best: Some(greedy_state.watermark()),
+                cost: meter.count(),
+                matching_cost,
+                completed: true,
+            });
+        }
+        let fixable: Vec<bool> = (0..self.plan.bits)
+            .map(|b| greedy_state.matches(b, wanted))
+            .collect();
+        // Phase 3: repair order conflicts.
+        let sel = repair_order(&self.plan, sets, &greedy_sel, meter);
+        let state = decode_selection(&self.plan, &sel, suspicious, meter);
+        Phases::Ready((sel, state, fixable))
+    }
+}
+
+/// Outcome of the shared Greedy+/Optimal preparation phases.
+enum Phases {
+    /// Tightening proved no complete order-consistent matching exists.
+    Unrelated,
+    /// Greedy already exceeds the threshold — report and stop.
+    EarlyReject(Correlation),
+    /// Repaired selection, its decode state, and the per-bit fixability
+    /// mask (bits Greedy decoded correctly).
+    Ready((Vec<u32>, crate::endpoint::BitState, Vec<bool>)),
+}

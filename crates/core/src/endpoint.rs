@@ -1,0 +1,243 @@
+//! Shared machinery: the decode statistic as a linear form over
+//! embedding-packet matches.
+//!
+//! For bit `b`, `D_b = Σ_group1 ipd′ − Σ_group2 ipd′` where
+//! `ipd′ = t′(match of second) − t′(match of first)`. Distributing the
+//! signs, `D_b = Σ_endpoints coeff · t′(selected match)` with
+//! `coeff = ±1` — every pair contributes `+1` on one endpoint and `−1`
+//! on the other. All four algorithms work on this flattened *endpoint*
+//! representation: the embedding packets in upstream order, each with a
+//! coefficient, a bit, and (given the wanted watermark) a preferred
+//! extreme.
+
+use stepstone_flow::Flow;
+use stepstone_matching::CostMeter;
+use stepstone_watermark::{BitLayout, Watermark};
+
+/// One embedding packet occurrence, flattened from a [`BitLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Endpoint {
+    /// Upstream packet index.
+    pub up: usize,
+    /// Watermark bit this endpoint belongs to.
+    pub bit: usize,
+    /// Contribution sign of the selected match's timestamp to `D_bit`.
+    pub coeff: i8,
+    /// Whether, for the *wanted* bit value, this endpoint prefers the
+    /// latest possible match (`coeff` pushing `D` toward the wanted
+    /// sign) — the Greedy algorithm's choice, Figure 2 of the paper.
+    pub wants_late: bool,
+}
+
+/// The flattened endpoint list for one (layout, wanted watermark) pair.
+#[derive(Debug, Clone)]
+pub(crate) struct EndpointPlan {
+    /// Endpoints sorted by upstream index (all distinct).
+    pub endpoints: Vec<Endpoint>,
+    /// Number of watermark bits.
+    pub bits: usize,
+    /// For each bit, the positions (into `endpoints`) of its endpoints,
+    /// ascending.
+    pub of_bit: Vec<Vec<usize>>,
+    /// The wanted sign per bit: `+1` for a 1-bit, `−1` for a 0-bit.
+    pub wanted_sign: Vec<i64>,
+}
+
+impl EndpointPlan {
+    /// Flattens `layout` given the original watermark.
+    pub fn build(layout: &BitLayout, wanted: &Watermark) -> Self {
+        assert_eq!(layout.bits(), wanted.len(), "layout/watermark mismatch");
+        let mut endpoints = Vec::with_capacity(layout.bits() * 2);
+        for (bit, pairs) in layout.iter() {
+            let sigma = wanted.bit(bit);
+            for p in pairs {
+                // Pair sign: group 1 enters D positively.
+                let s: i8 = if p.group1 { 1 } else { -1 };
+                for (up, coeff) in [(p.first, -s), (p.second, s)] {
+                    let pushes_up = coeff > 0;
+                    endpoints.push(Endpoint {
+                        up,
+                        bit,
+                        coeff,
+                        wants_late: pushes_up == sigma,
+                    });
+                }
+            }
+        }
+        endpoints.sort_unstable_by_key(|e| e.up);
+        let mut of_bit = vec![Vec::new(); layout.bits()];
+        for (pos, e) in endpoints.iter().enumerate() {
+            of_bit[e.bit].push(pos);
+        }
+        let wanted_sign = (0..wanted.len())
+            .map(|b| if wanted.bit(b) { 1 } else { -1 })
+            .collect();
+        EndpointPlan {
+            endpoints,
+            bits: layout.bits(),
+            of_bit,
+            wanted_sign,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The upstream indices of all endpoints, strictly increasing.
+    pub fn ups(&self) -> Vec<usize> {
+        self.endpoints.iter().map(|e| e.up).collect()
+    }
+}
+
+/// Per-bit decode state for a concrete selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitState {
+    /// `D_b` in microseconds (sum form — the paper's `1/2r` factor does
+    /// not change the sign or relative magnitudes).
+    pub d: Vec<i64>,
+}
+
+impl BitState {
+    /// Decoded bit `b` (1 when `D_b > 0`, per the paper).
+    pub fn decoded(&self, bit: usize) -> bool {
+        self.d[bit] > 0
+    }
+
+    /// `true` when bit `b` decodes to the wanted value.
+    pub fn matches(&self, bit: usize, wanted: &Watermark) -> bool {
+        self.decoded(bit) == wanted.bit(bit)
+    }
+
+    /// Hamming distance of the decoded watermark to `wanted`.
+    pub fn hamming(&self, wanted: &Watermark) -> u32 {
+        (0..self.d.len())
+            .filter(|&b| !self.matches(b, wanted))
+            .count() as u32
+    }
+
+    /// The decoded watermark.
+    pub fn watermark(&self) -> Watermark {
+        (0..self.d.len()).map(|b| self.decoded(b)).collect()
+    }
+}
+
+/// Computes all `D_b` for a selection (`sel[i]` = downstream index
+/// chosen for `plan.endpoints[i]`), charging one packet access per
+/// endpoint.
+pub(crate) fn decode_bits(
+    plan: &EndpointPlan,
+    sel: &[u32],
+    suspicious: &Flow,
+    meter: &mut CostMeter,
+) -> BitState {
+    assert_eq!(sel.len(), plan.len(), "one selection per endpoint");
+    let mut d = vec![0i64; plan.bits];
+    for (e, &s) in plan.endpoints.iter().zip(sel) {
+        meter.charge_one();
+        let t = suspicious.timestamp(s as usize).as_micros();
+        d[e.bit] += e.coeff as i64 * t;
+    }
+    BitState { d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+    use stepstone_watermark::{WatermarkKey, WatermarkParams};
+
+    fn plan_for(bits: Vec<bool>) -> (EndpointPlan, BitLayout, Watermark) {
+        let params = WatermarkParams::small();
+        let layout = BitLayout::derive(WatermarkKey::new(1), &params, 200).unwrap();
+        let w = Watermark::from_bits(bits);
+        let plan = EndpointPlan::build(&layout, &w);
+        (plan, layout, w)
+    }
+
+    #[test]
+    fn endpoints_are_sorted_and_complete() {
+        let (plan, layout, _) = plan_for(vec![true; 8]);
+        assert_eq!(plan.len(), layout.all_indices().len());
+        for w in plan.endpoints.windows(2) {
+            assert!(w[0].up < w[1].up);
+        }
+        assert_eq!(
+            plan.endpoints.iter().map(|e| e.up).collect::<Vec<_>>(),
+            layout.all_indices()
+        );
+    }
+
+    #[test]
+    fn coefficients_cancel_per_bit() {
+        // Each pair contributes +1 and −1, so coefficients per bit sum
+        // to zero — a constant time shift never changes any D.
+        let (plan, _, _) = plan_for(vec![true, false, true, false, true, false, true, false]);
+        for bit in 0..plan.bits {
+            let sum: i64 = plan.of_bit[bit]
+                .iter()
+                .map(|&pos| plan.endpoints[pos].coeff as i64)
+                .sum();
+            assert_eq!(sum, 0, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn wanted_sign_tracks_bits() {
+        let (plan, _, _) = plan_for(vec![true, false, true, false, true, false, true, false]);
+        assert_eq!(plan.wanted_sign[0], 1);
+        assert_eq!(plan.wanted_sign[1], -1);
+    }
+
+    #[test]
+    fn wants_late_flips_with_wanted_bit() {
+        let (plan_ones, _, _) = plan_for(vec![true; 8]);
+        let (plan_zeros, _, _) = plan_for(vec![false; 8]);
+        for (a, b) in plan_ones.endpoints.iter().zip(&plan_zeros.endpoints) {
+            assert_eq!(a.up, b.up);
+            assert_eq!(a.wants_late, !b.wants_late);
+        }
+    }
+
+    #[test]
+    fn decode_bits_matches_manual_computation() {
+        let (plan, layout, w) = plan_for(vec![true; 8]);
+        // Identity selection against a flow long enough to index.
+        let flow =
+            Flow::from_timestamps((0..200).map(|i| Timestamp::from_millis(i * 250))).unwrap();
+        let sel: Vec<u32> = plan.endpoints.iter().map(|e| e.up as u32).collect();
+        let mut meter = CostMeter::new();
+        let state = decode_bits(&plan, &sel, &flow, &mut meter);
+        assert_eq!(meter.count(), plan.len() as u64);
+        // Manual: D_b = Σ ±ipd over the layout's pairs.
+        for (bit, pairs) in layout.iter() {
+            let manual: i64 = pairs
+                .iter()
+                .map(|p| {
+                    let ipd = flow.ipd(p.first, p.second).as_micros();
+                    if p.group1 {
+                        ipd
+                    } else {
+                        -ipd
+                    }
+                })
+                .sum();
+            assert_eq!(state.d[bit], manual, "bit {bit}");
+        }
+        let _ = w;
+    }
+
+    #[test]
+    fn bitstate_decode_and_hamming() {
+        let s = BitState { d: vec![5, -3, 0] };
+        let w = Watermark::from_bits([true, false, false]);
+        assert!(s.decoded(0));
+        assert!(!s.decoded(1));
+        assert!(!s.decoded(2)); // D = 0 decodes to 0
+        assert_eq!(s.hamming(&w), 0);
+        assert_eq!(s.watermark(), w);
+        let w2 = Watermark::from_bits([false, false, true]);
+        assert_eq!(s.hamming(&w2), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Algorithm 2: the Greedy best-watermark decoder (paper §3.3.2).
+
+use stepstone_flow::Flow;
+use stepstone_matching::{CostMeter, MatchingSets};
+
+use crate::endpoint::{decode_bits, BitState, EndpointPlan};
+
+/// The Greedy selection: every endpoint independently takes the extreme
+/// of its matching set that pushes its bit's `D` toward the wanted sign
+/// (Figure 2 — largest IPDs in the group that should grow, smallest in
+/// the group that should shrink).
+///
+/// The order constraint is deliberately ignored, which is why Greedy's
+/// Hamming distance lower-bounds every order-respecting algorithm's:
+/// any feasible selection is pointwise dominated per bit.
+pub(crate) fn greedy_selection(plan: &EndpointPlan, sets: &MatchingSets) -> Vec<u32> {
+    plan.endpoints
+        .iter()
+        .map(|e| {
+            if e.wants_late {
+                sets.last(e.up)
+            } else {
+                sets.first(e.up)
+            }
+        })
+        .collect()
+}
+
+/// Runs Greedy: selection plus decode. Charges one access per endpoint
+/// (the paper: "only checks every embedding packet once, so its
+/// complexity is O(n)").
+pub(crate) fn run_greedy(
+    plan: &EndpointPlan,
+    sets: &MatchingSets,
+    suspicious: &Flow,
+    meter: &mut CostMeter,
+) -> (Vec<u32>, BitState) {
+    let sel = greedy_selection(plan, sets);
+    let state = decode_bits(plan, &sel, suspicious, meter);
+    (sel, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+    use stepstone_watermark::{BitLayout, Watermark, WatermarkKey, WatermarkParams};
+
+    /// A flow where packet `i` arrives at `i` seconds.
+    fn second_flow(n: usize) -> Flow {
+        Flow::from_timestamps((0..n as i64).map(Timestamp::from_secs)).unwrap()
+    }
+
+    /// Matching sets where every upstream packet sees exactly its own
+    /// index (no chaff, no slack).
+    fn identity_sets(n: usize) -> MatchingSets {
+        MatchingSets::from_sets((0..n as u32).map(|i| vec![i]).collect(), n)
+    }
+
+    fn plan(bits: Vec<bool>) -> (EndpointPlan, Watermark) {
+        let layout = BitLayout::derive(WatermarkKey::new(3), &WatermarkParams::small(), 200).unwrap();
+        let w = Watermark::from_bits(bits);
+        (EndpointPlan::build(&layout, &w), w)
+    }
+
+    #[test]
+    fn singleton_sets_leave_no_choice() {
+        let (p, _) = plan(vec![true; 8]);
+        let sets = identity_sets(200);
+        let sel = greedy_selection(&p, &sets);
+        for (e, s) in p.endpoints.iter().zip(&sel) {
+            assert_eq!(*s as usize, e.up);
+        }
+    }
+
+    #[test]
+    fn greedy_takes_the_wanted_extreme() {
+        let (p, _) = plan(vec![true; 8]);
+        // Give every packet a 3-wide window [i, i+2].
+        let n = 200;
+        let sets = MatchingSets::from_sets(
+            (0..n as u32).map(|i| vec![i, i + 1, i + 2]).collect(),
+            n + 2,
+        );
+        let sel = greedy_selection(&p, &sets);
+        for (e, s) in p.endpoints.iter().zip(&sel) {
+            let expect = if e.wants_late { e.up as u32 + 2 } else { e.up as u32 };
+            assert_eq!(*s, expect);
+        }
+    }
+
+    #[test]
+    fn greedy_decodes_wanted_bits_when_windows_are_wide() {
+        // With wide windows the extremes dominate: every bit should
+        // decode to its wanted value regardless of the base flow.
+        for bits in [vec![true; 8], vec![false; 8], vec![true, false, true, false, true, false, true, false]] {
+            let (p, w) = plan(bits);
+            let n = 200;
+            let wide: Vec<Vec<u32>> = (0..n as u32)
+                .map(|i| (i..i + 10).collect())
+                .collect();
+            let sets = MatchingSets::from_sets(wide, n + 10);
+            let flow = second_flow(n + 10);
+            let mut meter = CostMeter::new();
+            let (_, state) = run_greedy(&p, &sets, &flow, &mut meter);
+            assert_eq!(state.hamming(&w), 0, "wanted {w}");
+        }
+    }
+
+    #[test]
+    fn greedy_cost_is_one_access_per_endpoint() {
+        let (p, _) = plan(vec![true; 8]);
+        let sets = identity_sets(200);
+        let flow = second_flow(200);
+        let mut meter = CostMeter::new();
+        let _ = run_greedy(&p, &sets, &flow, &mut meter);
+        assert_eq!(meter.count(), p.len() as u64);
+    }
+
+    #[test]
+    fn greedy_selection_may_violate_order() {
+        // Construct overlapping windows: a wants-late endpoint before a
+        // wants-first endpoint can invert order — the documented flaw
+        // that Greedy+ repairs.
+        let (p, _) = plan(vec![true; 8]);
+        let n = 200;
+        let sets = MatchingSets::from_sets(
+            (0..n as u32).map(|i| vec![i, i + 1, i + 2, i + 3]).collect(),
+            n + 3,
+        );
+        let sel = greedy_selection(&p, &sets);
+        let mut violated = false;
+        for k in 1..p.len() {
+            if sel[k] <= sel[k - 1] {
+                violated = true;
+            }
+        }
+        assert!(violated, "expected at least one order violation");
+    }
+}

@@ -1,0 +1,172 @@
+//! Algorithm selection and correlation outcomes.
+
+use serde::{Deserialize, Serialize};
+use stepstone_watermark::Watermark;
+
+/// The paper's default cost bound for the Optimal algorithm (§4.1:
+/// "we also set the bound of computation cost to 10⁶").
+pub const PAPER_COST_BOUND: u64 = 1_000_000;
+
+/// Which best-watermark search to run (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Algorithm 1: enumerate all order-consistent combinations of
+    /// matching packets. Exact but exponential; the bound caps packet
+    /// accesses, after which the best watermark so far is returned.
+    BruteForce {
+        /// Maximum packet accesses before giving up the search.
+        cost_bound: u64,
+    },
+    /// Algorithm 2: per bit, select the matches most likely to decode
+    /// the wanted bit (largest IPDs in group 1, smallest in group 2 for
+    /// a 1-bit, and vice versa). Ignores the order constraint across
+    /// pairs, so its Hamming distance lower-bounds every other
+    /// algorithm's — best detection, worst false positives, `O(n)` cost.
+    Greedy,
+    /// Algorithm 3: four phases — matching-set simplification, Greedy
+    /// early-reject, order-conflict repair, and local improvement of the
+    /// most fixable mismatched bits.
+    GreedyPlus,
+    /// Algorithm 4: Greedy+ phases 1–3, then exhaustive enumeration over
+    /// the matches of the still-mismatched bits' embedding packets,
+    /// within a cost bound.
+    Optimal {
+        /// Maximum total packet accesses (Table 1 uses 10⁶).
+        cost_bound: u64,
+    },
+}
+
+impl Algorithm {
+    /// The Optimal algorithm with the paper's 10⁶ cost bound.
+    pub const fn optimal_paper() -> Self {
+        Algorithm::Optimal {
+            cost_bound: PAPER_COST_BOUND,
+        }
+    }
+
+    /// The Brute Force algorithm with the paper's 10⁶ cost bound.
+    pub const fn brute_force_paper() -> Self {
+        Algorithm::BruteForce {
+            cost_bound: PAPER_COST_BOUND,
+        }
+    }
+
+    /// A short lowercase name for tables and CSV output.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Algorithm::BruteForce { .. } => "brute-force",
+            Algorithm::Greedy => "greedy",
+            Algorithm::GreedyPlus => "greedy+",
+            Algorithm::Optimal { .. } => "optimal",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of correlating one suspicious flow against one
+/// watermarked upstream flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Correlation {
+    /// `true` when the best watermark's Hamming distance is within the
+    /// detection threshold.
+    pub correlated: bool,
+    /// Hamming distance of the best watermark found; `None` when the
+    /// matching phase already proved the flows unrelated (an empty or
+    /// infeasible matching set).
+    pub hamming: Option<u32>,
+    /// The best decoded watermark, when one was computed.
+    pub best: Option<Watermark>,
+    /// The cost reported in the paper's figures, in packet accesses.
+    /// For Greedy this is the decode phase alone (the paper charges the
+    /// matching process only to the approaches that consume it — which
+    /// is why Greedy's published cost curve is constant and a failed
+    /// matching costs 0, plotted as 1 on log axes); for the other
+    /// algorithms it includes the matching phase.
+    pub cost: u64,
+    /// The matching phase's packet accesses alone (informational; part
+    /// of `cost` except for Greedy).
+    pub matching_cost: u64,
+    /// `false` when a bounded search (Optimal/Brute Force) hit its cost
+    /// bound before finishing.
+    pub completed: bool,
+}
+
+impl Correlation {
+    /// An immediate negative from the matching phase.
+    pub(crate) fn unmatched(cost: u64, matching_cost: u64) -> Self {
+        Correlation {
+            correlated: false,
+            hamming: None,
+            best: None,
+            cost,
+            completed: true,
+            matching_cost,
+        }
+    }
+}
+
+impl std::fmt::Display for Correlation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.hamming {
+            Some(h) => write!(
+                f,
+                "{} (hamming {h}, {} accesses{})",
+                if self.correlated { "correlated" } else { "not correlated" },
+                self.cost,
+                if self.completed { "" } else { ", bound hit" }
+            ),
+            None => write!(f, "not correlated (no matching, {} accesses)", self.cost),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::Greedy.name(), "greedy");
+        assert_eq!(Algorithm::GreedyPlus.name(), "greedy+");
+        assert_eq!(Algorithm::optimal_paper().name(), "optimal");
+        assert_eq!(Algorithm::brute_force_paper().name(), "brute-force");
+        assert_eq!(Algorithm::Greedy.to_string(), "greedy");
+    }
+
+    #[test]
+    fn paper_bounds() {
+        assert!(matches!(
+            Algorithm::optimal_paper(),
+            Algorithm::Optimal { cost_bound: PAPER_COST_BOUND }
+        ));
+    }
+
+    #[test]
+    fn unmatched_outcome_shape() {
+        let c = Correlation::unmatched(42, 42);
+        assert!(!c.correlated);
+        assert_eq!(c.hamming, None);
+        assert_eq!(c.cost, 42);
+        assert!(c.completed);
+        assert!(c.to_string().contains("no matching"));
+    }
+
+    #[test]
+    fn display_mentions_bound_hits() {
+        let c = Correlation {
+            correlated: true,
+            hamming: Some(3),
+            best: None,
+            cost: 10,
+            matching_cost: 4,
+            completed: false,
+        };
+        assert!(c.to_string().contains("bound hit"));
+    }
+}

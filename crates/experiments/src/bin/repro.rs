@@ -1,0 +1,166 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart] <target>...
+//! targets: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!          figures (3–10)  synthetic (§4.2)  summary (§4.3)
+//!          future-loss future-repack (§6)  all
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stepstone_experiments::{ablations, diagnostics, figures, ExperimentConfig, Scale};
+use stepstone_stats::Figure;
+use stepstone_traffic::Seed;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart] <target>...
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics all";
+
+struct Options {
+    cfg: ExperimentConfig,
+    out: Option<PathBuf>,
+    chart: bool,
+    targets: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut scale = Scale::Default;
+    let mut seed: Option<u64> = None;
+    let mut out = None;
+    let mut chart = false;
+    let mut targets = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("default") => Scale::Default,
+                    Some("full") => Scale::Full,
+                    other => return Err(format!("bad --scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
+            }
+            "--chart" => chart = true,
+            "--help" | "-h" => return Err("help requested".into()),
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if targets.is_empty() {
+        return Err("no targets given".into());
+    }
+    let mut cfg = ExperimentConfig::new(scale);
+    if let Some(s) = seed {
+        cfg = cfg.with_seed(Seed::new(s));
+    }
+    Ok(Options {
+        cfg,
+        out,
+        chart,
+        targets,
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+    if let Some(dir) = &opts.out {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    for target in &opts.targets {
+        dispatch(target, &opts)?;
+    }
+    Ok(())
+}
+
+fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
+    let cfg = &opts.cfg;
+    match target {
+        "table1" => print!("{}", figures::table1(cfg)),
+        "fig3" => emit(&figures::fig3(cfg), opts)?,
+        "fig4" => emit(&figures::fig4(cfg), opts)?,
+        "fig5" => emit(&figures::fig5(cfg), opts)?,
+        "fig6" => emit(&figures::fig6(cfg), opts)?,
+        "fig7" => emit(&figures::fig7(cfg), opts)?,
+        "fig8" => emit(&figures::fig8(cfg), opts)?,
+        "fig9" => emit(&figures::fig9(cfg), opts)?,
+        "fig10" => emit(&figures::fig10(cfg), opts)?,
+        "figures" => {
+            for f in figures::all(cfg) {
+                emit(&f, opts)?;
+            }
+        }
+        "synthetic" => {
+            for f in figures::synthetic_all(cfg) {
+                emit(&f, opts)?;
+            }
+        }
+        "summary" => print!("{}", figures::summary(cfg)),
+        "extension-hops" => emit(&figures::extension_hops(cfg), opts)?,
+        "future-loss" => emit(&figures::future_loss(cfg), opts)?,
+        "future-repack" => emit(&figures::future_repack(cfg), opts)?,
+        "diagnostics" => {
+            print!("{}", diagnostics::hamming_histograms(cfg));
+            print!("{}", diagnostics::matching_set_sizes(cfg));
+        }
+        "ablations" => {
+            emit(&ablations::ablation_adjustment(cfg), opts)?;
+            emit(&ablations::ablation_redundancy(cfg), opts)?;
+            emit(&ablations::ablation_threshold(cfg), opts)?;
+            emit(&ablations::ablation_chaff_models(cfg), opts)?;
+            print!("{}", ablations::ablation_phase1(cfg));
+        }
+        "all" => {
+            print!("{}", figures::table1(cfg));
+            for f in figures::all(cfg) {
+                emit(&f, opts)?;
+            }
+            for f in figures::synthetic_all(cfg) {
+                emit(&f, opts)?;
+            }
+            print!("{}", figures::summary(cfg));
+            emit(&figures::future_loss(cfg), opts)?;
+            emit(&figures::future_repack(cfg), opts)?;
+            dispatch("ablations", opts)?;
+            dispatch("diagnostics", opts)?;
+            dispatch("extension-hops", opts)?;
+        }
+        other => return Err(format!("unknown target {other}")),
+    }
+    Ok(())
+}
+
+fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {
+    println!("{}", fig.to_table());
+    if opts.chart {
+        println!("{}", fig.to_ascii_chart(64));
+    }
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("{}.csv", fig.id()));
+        fs::write(&path, fig.to_csv())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,424 @@
+//! Per-figure experiment builders.
+//!
+//! Each `figN` function regenerates the corresponding figure of the
+//! paper as a [`Figure`] (series per scheme over the swept parameter).
+//! [`all`] computes the four underlying sweeps once and derives
+//! Figures 3–10 from them.
+
+use stepstone_adversary::{
+    AdversaryPipeline, ChaffInjector, ChaffModel, PacketLoss, Repacketizer, UniformPerturbation,
+};
+use stepstone_flow::TimeDelta;
+use stepstone_stats::{Figure, Series};
+
+use crate::config::ExperimentConfig;
+use crate::dataset::Dataset;
+use crate::runner::{GridPoint, Runner};
+use crate::schemes::{Scheme, SCHEMES};
+
+/// Renders Table 1 (the experiment parameters actually in effect).
+pub fn table1(cfg: &ExperimentConfig) -> String {
+    let deltas: Vec<String> = cfg.deltas.iter().map(|d| format!("{:.0}", d.as_secs_f64())).collect();
+    let chaff: Vec<String> = cfg.chaff_rates.iter().map(|c| format!("{c}")).collect();
+    format!(
+        "# Table 1 — experiment parameters\n\
+         max delay Δ (s)        {}\n\
+         chaff rate λc (pkt/s)  {}\n\
+         watermark              {} bits\n\
+         redundancy r           {}\n\
+         WM threshold           {}\n\
+         WM adjustment a        {} ms\n\
+         Zhang threshold        {} s\n\
+         Optimal cost bound     {}\n\
+         corpus                 {} traces × ≥{} packets{}\n\
+         false-positive pairs   {}\n",
+        deltas.join(", "),
+        chaff.join(", "),
+        cfg.params.bits,
+        cfg.params.redundancy,
+        cfg.params.threshold,
+        cfg.params.adjustment.as_millis(),
+        cfg.zg_threshold.as_secs_f64(),
+        cfg.cost_bound,
+        cfg.corpus,
+        cfg.min_packets,
+        if cfg.synthetic { " (synthetic tcplib)" } else { "" },
+        cfg.fpr_pair_count(),
+    )
+}
+
+/// The chaff sweep (fixed `Δ`, Figures 3/5/7/9): detection points.
+pub fn chaff_sweep_detection(cfg: &ExperimentConfig, ds: &Dataset) -> Vec<GridPoint> {
+    let r = Runner::new(cfg, ds);
+    cfg.chaff_rates
+        .iter()
+        .map(|&c| r.detection_point(cfg.fixed_delta, c))
+        .collect()
+}
+
+/// The chaff sweep: false-positive points.
+pub fn chaff_sweep_fpr(cfg: &ExperimentConfig, ds: &Dataset) -> Vec<GridPoint> {
+    let r = Runner::new(cfg, ds);
+    cfg.chaff_rates
+        .iter()
+        .map(|&c| r.fpr_point(cfg.fixed_delta, c))
+        .collect()
+}
+
+/// The delta sweep (fixed `λc`, Figures 4/6/8/10): detection points.
+pub fn delta_sweep_detection(cfg: &ExperimentConfig, ds: &Dataset) -> Vec<GridPoint> {
+    let r = Runner::new(cfg, ds);
+    cfg.deltas
+        .iter()
+        .map(|&d| r.detection_point(d, cfg.fixed_chaff))
+        .collect()
+}
+
+/// The delta sweep: false-positive points.
+pub fn delta_sweep_fpr(cfg: &ExperimentConfig, ds: &Dataset) -> Vec<GridPoint> {
+    let r = Runner::new(cfg, ds);
+    cfg.deltas
+        .iter()
+        .map(|&d| r.fpr_point(d, cfg.fixed_chaff))
+        .collect()
+}
+
+enum Axis {
+    Chaff,
+    Delta,
+}
+
+impl Axis {
+    fn x(&self, p: &GridPoint) -> f64 {
+        match self {
+            Axis::Chaff => p.chaff,
+            Axis::Delta => p.delta.as_secs_f64(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Axis::Chaff => "chaff rate λc (pkt/s)",
+            Axis::Delta => "max delay Δ (s)",
+        }
+    }
+}
+
+fn rate_figure(id: &str, title: &str, axis: Axis, points: &[GridPoint]) -> Figure {
+    let mut fig = Figure::new(id, title, axis.label(), "rate");
+    for s in SCHEMES {
+        let mut series = Series::new(s.label());
+        for p in points {
+            series.push(axis.x(p), p.rates[s.index()].rate());
+        }
+        fig.push_series(series);
+    }
+    fig
+}
+
+fn cost_figure(id: &str, title: &str, axis: Axis, points: &[GridPoint]) -> Figure {
+    let mut fig = Figure::new(id, title, axis.label(), "packet accesses").with_log_y();
+    for s in SCHEMES {
+        let mut series = Series::new(s.label());
+        for p in points {
+            series.push(axis.x(p), p.costs[s.index()].mean_for_log());
+        }
+        fig.push_series(series);
+    }
+    fig
+}
+
+/// Figure 3: detection rate changing with `λc` (Δ = 7 s).
+pub fn fig3(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    rate_figure(
+        "fig3",
+        "Detection rate changing with λc, Δ = 7s",
+        Axis::Chaff,
+        &chaff_sweep_detection(cfg, &ds),
+    )
+}
+
+/// Figure 4: detection rate changing with `Δ` (λc = 3).
+pub fn fig4(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    rate_figure(
+        "fig4",
+        "Detection rate changing with Δ, λc = 3",
+        Axis::Delta,
+        &delta_sweep_detection(cfg, &ds),
+    )
+}
+
+/// Figure 5: false positive rate changing with `λc` (Δ = 7 s).
+pub fn fig5(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    rate_figure(
+        "fig5",
+        "False positive rate changing with λc, Δ = 7s",
+        Axis::Chaff,
+        &chaff_sweep_fpr(cfg, &ds),
+    )
+}
+
+/// Figure 6: false positive rate changing with `Δ` (λc = 3).
+pub fn fig6(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    rate_figure(
+        "fig6",
+        "False positive rate changing with Δ, λc = 3",
+        Axis::Delta,
+        &delta_sweep_fpr(cfg, &ds),
+    )
+}
+
+/// Figure 7: computation costs changing with `λc`, correlated flows.
+pub fn fig7(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    cost_figure(
+        "fig7",
+        "Costs changing with λc, Δ = 7s, correlated flows",
+        Axis::Chaff,
+        &chaff_sweep_detection(cfg, &ds),
+    )
+}
+
+/// Figure 8: computation costs changing with `Δ`, correlated flows.
+pub fn fig8(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    cost_figure(
+        "fig8",
+        "Costs changing with Δ, λc = 3, correlated flows",
+        Axis::Delta,
+        &delta_sweep_detection(cfg, &ds),
+    )
+}
+
+/// Figure 9: computation costs changing with `λc`, uncorrelated flows.
+pub fn fig9(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    cost_figure(
+        "fig9",
+        "Costs changing with λc, Δ = 7s, uncorrelated flows",
+        Axis::Chaff,
+        &chaff_sweep_fpr(cfg, &ds),
+    )
+}
+
+/// Figure 10: computation costs changing with `Δ`, uncorrelated flows.
+pub fn fig10(cfg: &ExperimentConfig) -> Figure {
+    let ds = Dataset::build(cfg);
+    cost_figure(
+        "fig10",
+        "Costs changing with Δ, λc = 3, uncorrelated flows",
+        Axis::Delta,
+        &delta_sweep_fpr(cfg, &ds),
+    )
+}
+
+/// All of Figures 3–10, computing each underlying sweep only once.
+pub fn all(cfg: &ExperimentConfig) -> Vec<Figure> {
+    let ds = Dataset::build(cfg);
+    let chaff_det = chaff_sweep_detection(cfg, &ds);
+    let chaff_fpr = chaff_sweep_fpr(cfg, &ds);
+    let delta_det = delta_sweep_detection(cfg, &ds);
+    let delta_fpr = delta_sweep_fpr(cfg, &ds);
+    vec![
+        rate_figure("fig3", "Detection rate changing with λc, Δ = 7s", Axis::Chaff, &chaff_det),
+        rate_figure("fig4", "Detection rate changing with Δ, λc = 3", Axis::Delta, &delta_det),
+        rate_figure("fig5", "False positive rate changing with λc, Δ = 7s", Axis::Chaff, &chaff_fpr),
+        rate_figure("fig6", "False positive rate changing with Δ, λc = 3", Axis::Delta, &delta_fpr),
+        cost_figure("fig7", "Costs changing with λc, Δ = 7s, correlated flows", Axis::Chaff, &chaff_det),
+        cost_figure("fig8", "Costs changing with Δ, λc = 3, correlated flows", Axis::Delta, &delta_det),
+        cost_figure("fig9", "Costs changing with λc, Δ = 7s, uncorrelated flows", Axis::Chaff, &chaff_fpr),
+        cost_figure("fig10", "Costs changing with Δ, λc = 3, uncorrelated flows", Axis::Delta, &delta_fpr),
+    ]
+}
+
+/// §4.2: the same eight figures over the synthetic tcplib corpus.
+pub fn synthetic_all(cfg: &ExperimentConfig) -> Vec<Figure> {
+    let cfg = cfg.clone().with_synthetic();
+    all(&cfg)
+        .into_iter()
+        .map(|f| {
+            let id = format!("{}-tcplib", f.id());
+            let title = format!("{} (synthetic tcplib)", f.title());
+            f.relabelled(id, title)
+        })
+        .collect()
+}
+
+/// §4.3: overall performance comparison at the headline grid point
+/// (Δ = 7 s, λc = 3).
+pub fn summary(cfg: &ExperimentConfig) -> String {
+    let ds = Dataset::build(cfg);
+    let r = Runner::new(cfg, &ds);
+    let det = r.detection_point(cfg.fixed_delta, cfg.fixed_chaff);
+    let fpr = r.fpr_point(cfg.fixed_delta, cfg.fixed_chaff);
+    let mut out = String::from(
+        "# §4.3 Overall performance at Δ = 7s, λc = 3\n\
+         scheme       detection        false-positive   cost(corr)   cost(uncorr)\n",
+    );
+    for s in SCHEMES {
+        out.push_str(&format!(
+            "{:<12} {:<16} {:<16} {:<12.0} {:<12.0}\n",
+            s.label(),
+            det.rates[s.index()].to_string(),
+            fpr.rates[s.index()].to_string(),
+            det.costs[s.index()].mean_for_log(),
+            fpr.costs[s.index()].mean_for_log(),
+        ));
+    }
+    out
+}
+
+/// §6 future work: detection under packet loss (which breaks
+/// assumption 1). Sweeps the loss probability at a moderate fixed
+/// attack (Δ = 2 s perturbation, λc = 1 chaff).
+pub fn future_loss(cfg: &ExperimentConfig) -> Figure {
+    future_sweep(
+        cfg,
+        "future-loss",
+        "Detection under packet loss (Δ = 2s, λc = 1)",
+        "loss probability",
+        &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1],
+        |p| Box::new(PacketLoss::new(p)),
+    )
+}
+
+/// §6 future work: detection under re-packetization (packet merging).
+/// Sweeps the coalescing window at the same fixed attack.
+pub fn future_repack(cfg: &ExperimentConfig) -> Figure {
+    future_sweep(
+        cfg,
+        "future-repack",
+        "Detection under re-packetization (Δ = 2s, λc = 1)",
+        "merge window (s)",
+        &[0.0, 0.02, 0.05, 0.1, 0.2, 0.5],
+        |w| Box::new(Repacketizer::new(TimeDelta::from_secs_f64(w))),
+    )
+}
+
+fn future_sweep(
+    cfg: &ExperimentConfig,
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    make_stage: impl Fn(f64) -> Box<dyn stepstone_adversary::Transform>,
+) -> Figure {
+    let ds = Dataset::build(cfg);
+    let delta = TimeDelta::from_secs(2);
+    let mut fig = Figure::new(id, title, x_label, "detection rate");
+    let mut series: Vec<Series> = SCHEMES.iter().map(|s| Series::new(s.label())).collect();
+    for &x in xs {
+        let mut rates = [stepstone_stats::RateEstimate::empty(); 5];
+        for (i, up) in ds.flows().iter().enumerate() {
+            let mut pipeline = AdversaryPipeline::new()
+                .then(UniformPerturbation::new(delta));
+            // Dynamic stage goes between perturbation and chaff: the
+            // relay drops/merges payload, then the attacker adds chaff.
+            pipeline = PipelineExt::then_boxed(pipeline, make_stage(x));
+            let pipeline =
+                pipeline.then(ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 }));
+            let suspicious = pipeline.apply(
+                &up.marked,
+                cfg.seed.child(0xF07).child(i as u64).child((x * 10_000.0) as u64),
+            );
+            for s in SCHEMES {
+                let (correlated, _) = s.correlate(up, &suspicious, delta, cfg);
+                rates[s.index()].record(correlated);
+            }
+        }
+        for s in SCHEMES {
+            series[s.index()].push(x, rates[s.index()].rate());
+        }
+    }
+    for s in series {
+        fig.push_series(s);
+    }
+    fig
+}
+
+/// Helper to push a boxed transform into a pipeline.
+struct PipelineExt;
+
+impl PipelineExt {
+    fn then_boxed(
+        pipeline: AdversaryPipeline,
+        stage: Box<dyn stepstone_adversary::Transform>,
+    ) -> AdversaryPipeline {
+        pipeline.then(BoxedStage(stage))
+    }
+}
+
+/// Adapter: a boxed transform as a pipeline stage.
+#[derive(Debug)]
+struct BoxedStage(Box<dyn stepstone_adversary::Transform>);
+
+impl stepstone_adversary::Transform for BoxedStage {
+    fn apply_with(
+        &self,
+        flow: &stepstone_flow::Flow,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> stepstone_flow::Flow {
+        self.0.apply_with(flow, rng)
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+}
+
+/// Extension experiment (beyond the paper): detection vs chain length.
+///
+/// The paper evaluates a single observation pair; this sweep relays the
+/// watermarked flow through 1–5 simulated stepping stones, each adding
+/// latency, jitter and in-line cover chaff (1 pkt/s per hop), before the
+/// exit node applies the usual perturbation. Shows that the watermark's
+/// reach is limited by the *total* delay budget `Δ`, not the hop count.
+pub fn extension_hops(cfg: &ExperimentConfig) -> Figure {
+    use stepstone_netsim::SteppingStoneChain;
+    let ds = Dataset::build(cfg);
+    let delta = TimeDelta::from_secs(3);
+    let mut fig = Figure::new(
+        "extension-hops",
+        "Detection vs chain length (per-hop jitter + 1 pkt/s relay chaff, Δ = 3s)",
+        "stepping stones",
+        "detection rate",
+    );
+    let mut series: Vec<Series> = SCHEMES.iter().map(|s| Series::new(s.label())).collect();
+    for hops in 1..=5usize {
+        let mut chain = SteppingStoneChain::builder();
+        for _ in 0..hops {
+            chain = chain
+                .hop(TimeDelta::from_millis(60), TimeDelta::from_millis(40))
+                .with_chaff(1.0);
+        }
+        let chain = chain.build();
+        let mut rates = [stepstone_stats::RateEstimate::empty(); 5];
+        for (i, up) in ds.flows().iter().enumerate() {
+            let seed = cfg.seed.child(0x40B5).child(i as u64).child(hops as u64);
+            let relayed = chain.simulate(&up.marked, seed).last().clone();
+            let suspicious = AdversaryPipeline::new()
+                .then(UniformPerturbation::new(TimeDelta::from_secs(2)))
+                .apply(&relayed, seed.child(1));
+            for s in SCHEMES {
+                let (correlated, _) = s.correlate(up, &suspicious, delta, cfg);
+                rates[s.index()].record(correlated);
+            }
+        }
+        for s in SCHEMES {
+            series[s.index()].push(hops as f64, rates[s.index()].rate());
+        }
+    }
+    for s in series {
+        fig.push_series(s);
+    }
+    fig
+}
+
+/// Which scheme labels appear in every figure (used by tests and docs).
+pub fn scheme_labels() -> Vec<&'static str> {
+    SCHEMES.iter().map(Scheme::label).collect()
+}

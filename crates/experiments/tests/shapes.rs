@@ -1,0 +1,138 @@
+//! Shape checks: the qualitative relationships the paper reports must
+//! hold at quick scale.
+
+use stepstone_experiments::{figures, ExperimentConfig, Scale};
+use stepstone_stats::Figure;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::new(Scale::Quick)
+}
+
+fn series_y(fig: &Figure, label: &str, x: f64) -> f64 {
+    fig.series_by_label(label)
+        .unwrap_or_else(|| panic!("missing series {label} in {}", fig.id()))
+        .y_at(x)
+        .unwrap_or_else(|| panic!("missing x={x} in {label} of {}", fig.id()))
+}
+
+#[test]
+fn table1_mentions_all_parameters() {
+    let t = figures::table1(&cfg());
+    for needle in ["24 bits", "Zhang threshold", "1000000", "Δ"] {
+        assert!(t.contains(needle), "table1 missing {needle:?}:\n{t}");
+    }
+}
+
+#[test]
+fn figure_suite_has_every_figure_and_scheme() {
+    let figs = figures::all(&cfg());
+    let ids: Vec<&str> = figs.iter().map(|f| f.id()).collect();
+    assert_eq!(
+        ids,
+        vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"]
+    );
+    for f in &figs {
+        for label in figures::scheme_labels() {
+            assert!(
+                f.series_by_label(label).is_some(),
+                "{} missing {label}",
+                f.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaff_destroys_basic_watermark_but_not_active_schemes() {
+    let fig3 = figures::fig3(&cfg());
+    // Without chaff the basic scheme works.
+    assert!(series_y(&fig3, "wm", 0.0) >= 0.8);
+    // With chaff it collapses while the matching algorithms hold.
+    assert!(series_y(&fig3, "wm", 3.0) <= 0.3);
+    for label in ["greedy", "greedy+", "optimal"] {
+        assert!(
+            series_y(&fig3, label, 3.0) >= 0.8,
+            "{label} lost detection under chaff"
+        );
+    }
+}
+
+#[test]
+fn greedy_has_best_detection_and_worst_false_positives() {
+    let c = cfg();
+    let fig3 = figures::fig3(&c);
+    let fig5 = figures::fig5(&c);
+    for &x in &c.chaff_rates {
+        assert!(
+            series_y(&fig3, "greedy", x) >= series_y(&fig3, "greedy+", x),
+            "detection at λc={x}"
+        );
+        assert!(
+            series_y(&fig5, "greedy", x) >= series_y(&fig5, "greedy+", x),
+            "fpr at λc={x}"
+        );
+    }
+}
+
+#[test]
+fn greedy_cost_is_constant_and_smallest_among_matching_schemes() {
+    let c = cfg();
+    let fig7 = figures::fig7(&c);
+    let greedy: Vec<f64> = c
+        .chaff_rates
+        .iter()
+        .map(|&x| series_y(&fig7, "greedy", x))
+        .collect();
+    // Constant across the sweep…
+    for w in greedy.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1.0, "greedy cost varies: {greedy:?}");
+    }
+    // …and smaller than Greedy+, Optimal, Zhang everywhere.
+    for &x in &c.chaff_rates {
+        for label in ["greedy+", "optimal", "zhang"] {
+            assert!(
+                series_y(&fig7, "greedy", x) <= series_y(&fig7, label, x),
+                "greedy vs {label} at λc={x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uncorrelated_cost_uses_the_zero_to_one_convention() {
+    let c = cfg();
+    let fig9 = figures::fig9(&c);
+    // At λc = 0 most unrelated pairs fail matching instantly; greedy is
+    // charged nothing and the published convention plots that as ~1.
+    assert!(series_y(&fig9, "greedy", 0.0) < 100.0);
+}
+
+#[test]
+fn future_work_probes_degrade_gracefully() {
+    let c = cfg();
+    let loss = figures::future_loss(&c);
+    // Active schemes at zero loss ≈ perfect; heavy loss hurts.
+    assert!(series_y(&loss, "greedy+", 0.0) >= 0.8);
+    assert!(
+        series_y(&loss, "greedy+", 0.1) <= series_y(&loss, "greedy+", 0.0),
+        "loss should not help"
+    );
+    let repack = figures::future_repack(&c);
+    assert!(series_y(&repack, "greedy+", 0.0) >= 0.8);
+}
+
+#[test]
+fn synthetic_suite_renames_figures() {
+    // One cheap sanity check on the §4.2 path: ids and titles marked.
+    let figs = figures::synthetic_all(&ExperimentConfig::new(Scale::Quick));
+    assert!(figs.iter().all(|f| f.id().ends_with("-tcplib")));
+    assert!(figs.iter().all(|f| f.title().contains("tcplib")));
+}
+
+#[test]
+fn summary_lists_every_scheme() {
+    let s = figures::summary(&cfg());
+    for label in figures::scheme_labels() {
+        assert!(s.contains(label), "summary missing {label}:\n{s}");
+    }
+}

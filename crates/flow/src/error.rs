@@ -1,0 +1,97 @@
+//! Error types for flow construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::Timestamp;
+
+/// Errors produced while constructing or manipulating [`Flow`]s.
+///
+/// [`Flow`]: crate::Flow
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// A packet's timestamp precedes its predecessor's.
+    OutOfOrder {
+        /// Index of the offending packet.
+        index: usize,
+        /// Timestamp of the preceding packet.
+        previous: Timestamp,
+        /// Timestamp of the offending packet.
+        offending: Timestamp,
+    },
+    /// A subsequence index was out of bounds or not strictly increasing.
+    BadSubsequence {
+        /// The offending index.
+        index: usize,
+    },
+    /// An operation required a non-empty flow.
+    Empty,
+    /// An operation required at least this many packets.
+    TooShort {
+        /// Packets required.
+        required: usize,
+        /// Packets available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::OutOfOrder {
+                index,
+                previous,
+                offending,
+            } => write!(
+                f,
+                "packet {index} at {offending} precedes previous packet at {previous}"
+            ),
+            FlowError::BadSubsequence { index } => {
+                write!(f, "subsequence index {index} out of bounds or not increasing")
+            }
+            FlowError::Empty => write!(f, "operation requires a non-empty flow"),
+            FlowError::TooShort {
+                required,
+                available,
+            } => write!(
+                f,
+                "operation requires {required} packets but flow has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = FlowError::OutOfOrder {
+            index: 3,
+            previous: Timestamp::from_secs(2),
+            offending: Timestamp::from_secs(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("packet 3"), "{msg}");
+        assert!(!msg.ends_with('.'), "{msg}");
+
+        assert!(FlowError::Empty.to_string().contains("non-empty"));
+        assert!(FlowError::BadSubsequence { index: 9 }.to_string().contains('9'));
+        assert!(FlowError::TooShort {
+            required: 4,
+            available: 2
+        }
+        .to_string()
+        .contains("4"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<FlowError>();
+    }
+}

@@ -1,0 +1,580 @@
+//! Unidirectional packet flows.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlowError;
+use crate::packet::{Packet, Provenance};
+use crate::time::{TimeDelta, Timestamp};
+
+/// A unidirectional flow: a sequence of packets with non-decreasing
+/// timestamps (the paper's `f = p_1, p_2, …, p_n`).
+///
+/// The non-decreasing invariant is enforced at construction and by every
+/// mutating operation, so algorithms may rely on it.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_flow::{Flow, TimeDelta, Timestamp};
+///
+/// # fn main() -> Result<(), stepstone_flow::FlowError> {
+/// let f = Flow::from_timestamps((0..5).map(|i| Timestamp::from_secs(i)))?;
+/// assert_eq!(f.mean_rate(), 1.0); // 5 packets over 4s: (5-1)/4
+/// let shifted = f.shifted(TimeDelta::from_secs(10));
+/// assert_eq!(shifted.first().unwrap().timestamp(), Timestamp::from_secs(10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flow {
+    packets: Vec<Packet>,
+}
+
+impl Flow {
+    /// Creates an empty flow.
+    pub const fn new() -> Self {
+        Flow {
+            packets: Vec::new(),
+        }
+    }
+
+    /// Builds a flow from packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::OutOfOrder`] if timestamps decrease anywhere.
+    pub fn from_packets<I>(packets: I) -> Result<Self, FlowError>
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let packets: Vec<Packet> = packets.into_iter().collect();
+        for (i, w) in packets.windows(2).enumerate() {
+            if w[1].timestamp() < w[0].timestamp() {
+                return Err(FlowError::OutOfOrder {
+                    index: i + 1,
+                    previous: w[0].timestamp(),
+                    offending: w[1].timestamp(),
+                });
+            }
+        }
+        Ok(Flow { packets })
+    }
+
+    /// Builds an origin flow of fixed-size payload packets from
+    /// timestamps, labelling each packet's provenance with its own index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::OutOfOrder`] if timestamps decrease anywhere.
+    pub fn from_timestamps<I>(timestamps: I) -> Result<Self, FlowError>
+    where
+        I: IntoIterator<Item = Timestamp>,
+    {
+        let packets = timestamps
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Packet::with_provenance(t, 64, Provenance::Payload(i as u32)));
+        Flow::from_packets(packets)
+    }
+
+    /// Number of packets (the paper's `n`, or `m` for suspicious flows).
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when the flow has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The packets as a slice.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// The packet at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Packet> {
+        self.packets.get(index)
+    }
+
+    /// The first packet, if any.
+    pub fn first(&self) -> Option<&Packet> {
+        self.packets.first()
+    }
+
+    /// The last packet, if any.
+    pub fn last(&self) -> Option<&Packet> {
+        self.packets.last()
+    }
+
+    /// Iterates over the packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// The timestamp of packet `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn timestamp(&self, index: usize) -> Timestamp {
+        self.packets[index].timestamp()
+    }
+
+    /// Time from first to last packet; zero for flows shorter than 2.
+    pub fn duration(&self) -> TimeDelta {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.timestamp() - a.timestamp(),
+            _ => TimeDelta::ZERO,
+        }
+    }
+
+    /// Mean packet arrival rate in packets/second (the paper's `λ_f`);
+    /// zero for flows with fewer than two packets or zero duration.
+    pub fn mean_rate(&self) -> f64 {
+        let dur = self.duration().as_secs_f64();
+        if self.packets.len() < 2 || dur <= 0.0 {
+            0.0
+        } else {
+            (self.packets.len() - 1) as f64 / dur
+        }
+    }
+
+    /// The inter-packet delay `ipd = t_j − t_i` between packets `i`
+    /// and `j` (the paper defines `ipd_e = t_{e+d} − t_e`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn ipd(&self, i: usize, j: usize) -> TimeDelta {
+        self.packets[j].timestamp() - self.packets[i].timestamp()
+    }
+
+    /// Iterates over consecutive inter-packet delays (`t_{i+1} − t_i`).
+    pub fn ipds(&self) -> Ipds<'_> {
+        Ipds {
+            packets: &self.packets,
+            index: 1,
+        }
+    }
+
+    /// Returns a copy with all timestamps shifted by `delta`.
+    #[must_use]
+    pub fn shifted(&self, delta: TimeDelta) -> Flow {
+        let packets = self
+            .packets
+            .iter()
+            .map(|p| p.at(p.timestamp() + delta))
+            .collect();
+        Flow { packets }
+    }
+
+    /// Merges two flows by timestamp, breaking ties in favour of `self`.
+    ///
+    /// This is how chaff is injected: the downstream payload flow is
+    /// merged with a chaff flow.
+    #[must_use]
+    pub fn merged_with(&self, other: &Flow) -> Flow {
+        let mut packets = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            if self.packets[i].timestamp() <= other.packets[j].timestamp() {
+                packets.push(self.packets[i]);
+                i += 1;
+            } else {
+                packets.push(other.packets[j]);
+                j += 1;
+            }
+        }
+        packets.extend_from_slice(&self.packets[i..]);
+        packets.extend_from_slice(&other.packets[j..]);
+        Flow { packets }
+    }
+
+    /// Extracts the subsequence of packets at the given (strictly
+    /// increasing) indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::BadSubsequence`] if indices are not strictly
+    /// increasing or out of bounds.
+    pub fn subsequence<I>(&self, indices: I) -> Result<Flow, FlowError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut packets = Vec::new();
+        let mut prev: Option<usize> = None;
+        for idx in indices {
+            if idx >= self.len() || prev.is_some_and(|p| idx <= p) {
+                return Err(FlowError::BadSubsequence { index: idx });
+            }
+            packets.push(self.packets[idx]);
+            prev = Some(idx);
+        }
+        Ok(Flow { packets })
+    }
+
+    /// The indices of payload (non-chaff) packets — ground truth used by
+    /// tests and the experiment harness, never by correlation algorithms.
+    pub fn payload_indices(&self) -> Vec<usize> {
+        self.packets
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.provenance().is_payload())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of chaff packets (ground truth; the paper's `c`).
+    pub fn chaff_count(&self) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| p.provenance().is_chaff())
+            .count()
+    }
+
+    /// Relabels every packet's provenance to `Payload(own index)`,
+    /// making the flow an *origin* flow.
+    #[must_use]
+    pub fn relabelled_as_origin(&self) -> Flow {
+        let packets = self
+            .packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.with_provenance_set(Provenance::Payload(i as u32)))
+            .collect();
+        Flow { packets }
+    }
+
+    /// All timestamps as a vector (convenience for tests and stats).
+    pub fn timestamps(&self) -> Vec<Timestamp> {
+        self.packets.iter().map(Packet::timestamp).collect()
+    }
+}
+
+impl Index<usize> for Flow {
+    type Output = Packet;
+    fn index(&self, index: usize) -> &Packet {
+        &self.packets[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Flow {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+impl IntoIterator for Flow {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow of {} packets over {} ({} chaff)",
+            self.len(),
+            self.duration(),
+            self.chaff_count()
+        )
+    }
+}
+
+/// Iterator over consecutive inter-packet delays of a [`Flow`].
+///
+/// Produced by [`Flow::ipds`].
+#[derive(Debug, Clone)]
+pub struct Ipds<'a> {
+    packets: &'a [Packet],
+    index: usize,
+}
+
+impl Iterator for Ipds<'_> {
+    type Item = TimeDelta;
+
+    fn next(&mut self) -> Option<TimeDelta> {
+        if self.index < self.packets.len() {
+            let d =
+                self.packets[self.index].timestamp() - self.packets[self.index - 1].timestamp();
+            self.index += 1;
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.packets.len().saturating_sub(self.index);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Ipds<'_> {}
+
+/// Incremental [`Flow`] constructor that enforces the timestamp
+/// invariant as packets are appended.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_flow::{FlowBuilder, Timestamp};
+///
+/// # fn main() -> Result<(), stepstone_flow::FlowError> {
+/// let mut b = FlowBuilder::new();
+/// b.push_timestamp(Timestamp::from_secs(1))?;
+/// b.push_timestamp(Timestamp::from_secs(2))?;
+/// let flow = b.finish();
+/// assert_eq!(flow.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowBuilder {
+    packets: Vec<Packet>,
+}
+
+impl FlowBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        FlowBuilder::default()
+    }
+
+    /// Creates an empty builder with room for `capacity` packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlowBuilder {
+            packets: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::OutOfOrder`] if the packet's timestamp
+    /// precedes the previous packet's.
+    pub fn push(&mut self, packet: Packet) -> Result<&mut Self, FlowError> {
+        if let Some(last) = self.packets.last() {
+            if packet.timestamp() < last.timestamp() {
+                return Err(FlowError::OutOfOrder {
+                    index: self.packets.len(),
+                    previous: last.timestamp(),
+                    offending: packet.timestamp(),
+                });
+            }
+        }
+        self.packets.push(packet);
+        Ok(self)
+    }
+
+    /// Appends a 64-byte payload packet at `timestamp`, provenance set to
+    /// its own index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::OutOfOrder`] if `timestamp` precedes the
+    /// previous packet's.
+    pub fn push_timestamp(&mut self, timestamp: Timestamp) -> Result<&mut Self, FlowError> {
+        let idx = self.packets.len() as u32;
+        self.push(Packet::with_provenance(
+            timestamp,
+            64,
+            Provenance::Payload(idx),
+        ))
+    }
+
+    /// Number of packets appended so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when no packets have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The timestamp of the most recently appended packet.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.packets.last().map(Packet::timestamp)
+    }
+
+    /// Finalizes the flow.
+    pub fn finish(self) -> Flow {
+        Flow {
+            packets: self.packets,
+        }
+    }
+}
+
+impl FromIterator<Packet> for FlowBuilder {
+    fn from_iter<I: IntoIterator<Item = Packet>>(iter: I) -> Self {
+        let mut b = FlowBuilder::new();
+        for p in iter {
+            // FromIterator cannot report errors; clamp to keep invariant.
+            let t = b
+                .last_timestamp()
+                .map_or(p.timestamp(), |last| p.timestamp().max(last));
+            b.packets.push(p.at(t));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(secs: f64) -> Timestamp {
+        Timestamp::from_secs_f64(secs)
+    }
+
+    fn flow(secs: &[f64]) -> Flow {
+        Flow::from_timestamps(secs.iter().copied().map(ts)).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps() {
+        let err = Flow::from_timestamps([ts(1.0), ts(0.5)]).unwrap_err();
+        match err {
+            FlowError::OutOfOrder { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_equal_timestamps() {
+        let f = Flow::from_timestamps([ts(1.0), ts(1.0)]).unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn duration_and_rate() {
+        let f = flow(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.duration(), TimeDelta::from_secs(4));
+        assert_eq!(f.mean_rate(), 1.0);
+        assert_eq!(Flow::new().duration(), TimeDelta::ZERO);
+        assert_eq!(Flow::new().mean_rate(), 0.0);
+        assert_eq!(flow(&[1.0]).mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn ipds_iterator() {
+        let f = flow(&[0.0, 0.5, 2.0]);
+        let ipds: Vec<_> = f.ipds().collect();
+        assert_eq!(
+            ipds,
+            vec![TimeDelta::from_millis(500), TimeDelta::from_millis(1500)]
+        );
+        assert_eq!(f.ipds().len(), 2);
+        assert_eq!(Flow::new().ipds().count(), 0);
+    }
+
+    #[test]
+    fn pairwise_ipd() {
+        let f = flow(&[0.0, 1.0, 3.0]);
+        assert_eq!(f.ipd(0, 2), TimeDelta::from_secs(3));
+        assert_eq!(f.ipd(2, 0), TimeDelta::from_secs(-3));
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let payload = flow(&[0.0, 2.0, 4.0]);
+        let chaff = Flow::from_packets([
+            Packet::chaff(ts(1.0), 16),
+            Packet::chaff(ts(3.0), 16),
+            Packet::chaff(ts(5.0), 16),
+        ])
+        .unwrap();
+        let merged = payload.merged_with(&chaff);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(merged.chaff_count(), 3);
+        assert_eq!(merged.payload_indices(), vec![0, 2, 4]);
+        let times: Vec<f64> = merged.iter().map(|p| p.timestamp().as_secs_f64()).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_breaks_ties_toward_self() {
+        let a = flow(&[1.0]);
+        let b = Flow::from_packets([Packet::chaff(ts(1.0), 16)]).unwrap();
+        let merged = a.merged_with(&b);
+        assert!(merged[0].provenance().is_payload());
+        assert!(merged[1].provenance().is_chaff());
+    }
+
+    #[test]
+    fn subsequence_extracts_and_validates() {
+        let f = flow(&[0.0, 1.0, 2.0, 3.0]);
+        let sub = f.subsequence([0, 2, 3]).unwrap();
+        assert_eq!(sub.timestamps(), vec![ts(0.0), ts(2.0), ts(3.0)]);
+        assert!(f.subsequence([2, 1]).is_err());
+        assert!(f.subsequence([0, 0]).is_err());
+        assert!(f.subsequence([4]).is_err());
+    }
+
+    #[test]
+    fn shifted_preserves_shape() {
+        let f = flow(&[0.0, 1.0]);
+        let g = f.shifted(TimeDelta::from_secs(5));
+        assert_eq!(g.timestamps(), vec![ts(5.0), ts(6.0)]);
+        assert_eq!(g.duration(), f.duration());
+    }
+
+    #[test]
+    fn relabel_as_origin_resets_provenance() {
+        let f = Flow::from_packets([
+            Packet::chaff(ts(0.0), 16),
+            Packet::with_provenance(ts(1.0), 64, Provenance::Payload(40)),
+        ])
+        .unwrap();
+        let origin = f.relabelled_as_origin();
+        assert_eq!(origin.payload_indices(), vec![0, 1]);
+        assert_eq!(origin[1].provenance(), Provenance::Payload(1));
+    }
+
+    #[test]
+    fn builder_enforces_order() {
+        let mut b = FlowBuilder::new();
+        b.push_timestamp(ts(1.0)).unwrap();
+        assert!(b.push_timestamp(ts(0.5)).is_err());
+        b.push_timestamp(ts(1.5)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.last_timestamp(), Some(ts(1.5)));
+        let f = b.finish();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn builder_from_iterator_clamps() {
+        let b: FlowBuilder = [Packet::new(ts(1.0), 64), Packet::new(ts(0.5), 64)]
+            .into_iter()
+            .collect();
+        let f = b.finish();
+        assert_eq!(f.timestamps(), vec![ts(1.0), ts(1.0)]);
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let f = flow(&[0.0, 1.0]);
+        assert_eq!(f[1].timestamp(), ts(1.0));
+        assert_eq!(f.iter().count(), 2);
+        assert_eq!((&f).into_iter().count(), 2);
+        assert_eq!(f.clone().into_iter().count(), 2);
+    }
+
+    #[test]
+    fn display_mentions_packets_and_chaff() {
+        let f = flow(&[0.0, 1.0]);
+        let shown = f.to_string();
+        assert!(shown.contains("2 packets"), "{shown}");
+    }
+}

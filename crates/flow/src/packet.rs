@@ -1,0 +1,193 @@
+//! Individual packets and their evaluation-only provenance.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// Where a downstream packet came from.
+///
+/// Provenance is **ground truth for evaluation only**. Correlation
+/// algorithms never branch on it — in the paper's threat model the
+/// defender sees an encrypted flow and cannot distinguish chaff from
+/// payload. Tests and experiment harnesses use provenance as an oracle
+/// (e.g. to verify that a matching found the true subsequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// An original payload packet. For downstream flows the field is the
+    /// index of the corresponding packet in the upstream flow; for a flow
+    /// that *is* the origin, it is the packet's own index.
+    Payload(u32),
+    /// A meaningless chaff packet inserted by the adversary.
+    Chaff,
+}
+
+impl Provenance {
+    /// `true` for payload packets.
+    pub const fn is_payload(self) -> bool {
+        matches!(self, Provenance::Payload(_))
+    }
+
+    /// `true` for chaff packets.
+    pub const fn is_chaff(self) -> bool {
+        matches!(self, Provenance::Chaff)
+    }
+
+    /// The upstream index for payload packets, `None` for chaff.
+    pub const fn upstream_index(self) -> Option<u32> {
+        match self {
+            Provenance::Payload(i) => Some(i),
+            Provenance::Chaff => None,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Payload(i) => write!(f, "payload[{i}]"),
+            Provenance::Chaff => write!(f, "chaff"),
+        }
+    }
+}
+
+/// A single observed packet.
+///
+/// Only the [`timestamp`](Packet::timestamp) and (optionally, when the
+/// quantized-size matching constraint is enabled) the
+/// [`size`](Packet::size) are visible to correlation algorithms.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_flow::{Packet, Provenance, Timestamp};
+///
+/// let p = Packet::new(Timestamp::from_millis(120), 48);
+/// assert_eq!(p.size(), 48);
+/// assert!(p.provenance().is_payload());
+/// let c = p.into_chaff();
+/// assert!(c.provenance().is_chaff());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    timestamp: Timestamp,
+    size: u32,
+    provenance: Provenance,
+}
+
+impl Packet {
+    /// Creates a payload packet with provenance index 0 (useful for
+    /// origin flows, where [`Flow`](crate::Flow) construction rewrites
+    /// the index to the packet's position).
+    pub const fn new(timestamp: Timestamp, size: u32) -> Self {
+        Packet {
+            timestamp,
+            size,
+            provenance: Provenance::Payload(0),
+        }
+    }
+
+    /// Creates a packet with explicit provenance.
+    pub const fn with_provenance(timestamp: Timestamp, size: u32, provenance: Provenance) -> Self {
+        Packet {
+            timestamp,
+            size,
+            provenance,
+        }
+    }
+
+    /// Creates a chaff packet.
+    pub const fn chaff(timestamp: Timestamp, size: u32) -> Self {
+        Packet {
+            timestamp,
+            size,
+            provenance: Provenance::Chaff,
+        }
+    }
+
+    /// The packet's arrival timestamp.
+    pub const fn timestamp(&self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// The packet's size in bytes.
+    pub const fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The packet's evaluation-only provenance.
+    pub const fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Returns a copy with the given timestamp.
+    #[must_use]
+    pub const fn at(mut self, timestamp: Timestamp) -> Packet {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// Returns a copy with the given provenance.
+    #[must_use]
+    pub const fn with_provenance_set(mut self, provenance: Provenance) -> Packet {
+        self.provenance = provenance;
+        self
+    }
+
+    /// Converts this packet into chaff, keeping time and size.
+    #[must_use]
+    pub const fn into_chaff(mut self) -> Packet {
+        self.provenance = Provenance::Chaff;
+        self
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}B {}",
+            self.timestamp, self.size, self.provenance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_predicates() {
+        assert!(Provenance::Payload(3).is_payload());
+        assert!(!Provenance::Payload(3).is_chaff());
+        assert!(Provenance::Chaff.is_chaff());
+        assert_eq!(Provenance::Payload(3).upstream_index(), Some(3));
+        assert_eq!(Provenance::Chaff.upstream_index(), None);
+    }
+
+    #[test]
+    fn packet_accessors() {
+        let p = Packet::new(Timestamp::from_secs(1), 64);
+        assert_eq!(p.timestamp(), Timestamp::from_secs(1));
+        assert_eq!(p.size(), 64);
+        assert_eq!(p.provenance(), Provenance::Payload(0));
+    }
+
+    #[test]
+    fn packet_builders() {
+        let p = Packet::new(Timestamp::ZERO, 32)
+            .at(Timestamp::from_millis(5))
+            .with_provenance_set(Provenance::Payload(9));
+        assert_eq!(p.timestamp(), Timestamp::from_millis(5));
+        assert_eq!(p.provenance(), Provenance::Payload(9));
+        assert!(p.into_chaff().provenance().is_chaff());
+    }
+
+    #[test]
+    fn packet_display_mentions_everything() {
+        let shown = Packet::chaff(Timestamp::from_millis(1), 16).to_string();
+        assert!(shown.contains("chaff"), "{shown}");
+        assert!(shown.contains("16B"), "{shown}");
+    }
+}

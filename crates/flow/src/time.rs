@@ -1,0 +1,408 @@
+//! Microsecond-resolution time points and spans.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds in one second.
+const MICROS_PER_SEC: i64 = 1_000_000;
+
+/// A point in time, measured in microseconds from an arbitrary epoch.
+///
+/// All flows captured within one experiment share the epoch, matching the
+/// paper's assumption that clock skews between observation points are
+/// known and already compensated for.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_flow::{TimeDelta, Timestamp};
+///
+/// let t0 = Timestamp::from_secs_f64(1.0);
+/// let t1 = t0 + TimeDelta::from_millis(250);
+/// assert_eq!(t1 - t0, TimeDelta::from_millis(250));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+/// A signed span of time, measured in microseconds.
+///
+/// Used for inter-packet delays, perturbation bounds (the paper's `Δ`),
+/// and watermark timing adjustments (the paper's `a`).
+///
+/// # Example
+///
+/// ```
+/// use stepstone_flow::TimeDelta;
+///
+/// let d = TimeDelta::from_secs(7);
+/// assert_eq!(d.as_micros(), 7_000_000);
+/// assert!(d > TimeDelta::ZERO);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TimeDelta(i64);
+
+impl Timestamp {
+    /// The epoch itself (time zero).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw microseconds since the epoch.
+    pub const fn from_micros(micros: i64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Creates a timestamp from milliseconds since the epoch.
+    pub const fn from_millis(millis: i64) -> Self {
+        Timestamp(millis * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a timestamp from fractional seconds, rounding to the
+    /// nearest microsecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Timestamp((secs * MICROS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (lossy beyond ~2^53 µs).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The span from the epoch to this timestamp.
+    pub const fn elapsed_since_epoch(self) -> TimeDelta {
+        TimeDelta(self.0)
+    }
+
+    /// Saturating addition of a span.
+    pub const fn saturating_add(self, delta: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta.0))
+    }
+
+    /// Checked addition of a span; `None` on overflow.
+    pub const fn checked_add(self, delta: TimeDelta) -> Option<Timestamp> {
+        match self.0.checked_add(delta.0) {
+            Some(v) => Some(Timestamp(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the later of `self` and `other`.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.min(other.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// The largest representable span.
+    pub const MAX: TimeDelta = TimeDelta(i64::MAX);
+
+    /// Creates a span from raw microseconds.
+    pub const fn from_micros(micros: i64) -> Self {
+        TimeDelta(micros)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(millis: i64) -> Self {
+        TimeDelta(millis * 1_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        TimeDelta(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// microsecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        TimeDelta((secs * MICROS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncated toward zero).
+    pub const fn as_millis(self) -> i64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// `true` when the span is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// The absolute value of the span.
+    pub const fn abs(self) -> TimeDelta {
+        TimeDelta(self.0.abs())
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.min(other.0))
+    }
+
+    /// Clamps the span into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: TimeDelta, hi: TimeDelta) -> TimeDelta {
+        assert!(lo <= hi, "TimeDelta::clamp requires lo <= hi");
+        TimeDelta(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Multiplies the span by a float factor, rounding to the nearest
+    /// microsecond. Useful for sampling `U(0, Δ)` perturbations.
+    pub fn mul_f64(self, factor: f64) -> TimeDelta {
+        TimeDelta((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, other: TimeDelta) -> Option<TimeDelta> {
+        match self.0.checked_add(other.0) {
+            Some(v) => Some(TimeDelta(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for Timestamp {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeDelta {
+    type Output = TimeDelta;
+    fn neg(self) -> TimeDelta {
+        TimeDelta(-self.0)
+    }
+}
+
+impl Mul<i64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        iter.fold(TimeDelta::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}s", self.as_secs_f64())
+    }
+}
+
+impl From<TimeDelta> for f64 {
+    fn from(d: TimeDelta) -> f64 {
+        d.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_roundtrips_units() {
+        assert_eq!(Timestamp::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(Timestamp::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Timestamp::from_micros(3).as_micros(), 3);
+        assert_eq!(Timestamp::from_secs_f64(1.5).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn delta_roundtrips_units() {
+        assert_eq!(TimeDelta::from_secs(2).as_millis(), 2_000);
+        assert_eq!(TimeDelta::from_millis(-7).as_micros(), -7_000);
+        assert_eq!(TimeDelta::from_secs_f64(0.25).as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t + TimeDelta::from_secs(5), Timestamp::from_secs(15));
+        assert_eq!(t - TimeDelta::from_secs(5), Timestamp::from_secs(5));
+        assert_eq!(Timestamp::from_secs(15) - t, TimeDelta::from_secs(5));
+        let mut u = t;
+        u += TimeDelta::from_secs(1);
+        u -= TimeDelta::from_millis(500);
+        assert_eq!(u, Timestamp::from_millis(10_500));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = TimeDelta::from_secs(4);
+        assert_eq!(d + TimeDelta::from_secs(1), TimeDelta::from_secs(5));
+        assert_eq!(d - TimeDelta::from_secs(1), TimeDelta::from_secs(3));
+        assert_eq!(-d, TimeDelta::from_secs(-4));
+        assert_eq!(d * 3, TimeDelta::from_secs(12));
+        assert_eq!(d / 2, TimeDelta::from_secs(2));
+        assert_eq!((-d).abs(), d);
+    }
+
+    #[test]
+    fn delta_sum() {
+        let total: TimeDelta = (1..=4).map(TimeDelta::from_secs).sum();
+        assert_eq!(total, TimeDelta::from_secs(10));
+    }
+
+    #[test]
+    fn delta_clamp_and_minmax() {
+        let d = TimeDelta::from_secs(9);
+        assert_eq!(
+            d.clamp(TimeDelta::ZERO, TimeDelta::from_secs(5)),
+            TimeDelta::from_secs(5)
+        );
+        assert_eq!(d.max(TimeDelta::from_secs(10)), TimeDelta::from_secs(10));
+        assert_eq!(d.min(TimeDelta::from_secs(5)), TimeDelta::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn delta_clamp_panics_on_bad_range() {
+        let _ = TimeDelta::ZERO.clamp(TimeDelta::from_secs(2), TimeDelta::from_secs(1));
+    }
+
+    #[test]
+    fn delta_mul_f64_rounds() {
+        assert_eq!(
+            TimeDelta::from_micros(3).mul_f64(0.5),
+            TimeDelta::from_micros(2) // 1.5 rounds to 2
+        );
+        assert_eq!(
+            TimeDelta::from_secs(8).mul_f64(0.25),
+            TimeDelta::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn checked_ops_detect_overflow() {
+        assert!(Timestamp::from_micros(i64::MAX)
+            .checked_add(TimeDelta::from_micros(1))
+            .is_none());
+        assert!(TimeDelta::MAX.checked_add(TimeDelta::from_micros(1)).is_none());
+        assert_eq!(
+            Timestamp::from_micros(i64::MAX).saturating_add(TimeDelta::from_secs(1)),
+            Timestamp::from_micros(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_millis(1_500).to_string(), "1.500000s");
+        assert_eq!(TimeDelta::from_millis(-250).to_string(), "-0.250000s");
+        assert_eq!(TimeDelta::from_millis(250).to_string(), "+0.250000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Timestamp::from_secs(1) < Timestamp::from_secs(2));
+        assert!(TimeDelta::from_secs(-1) < TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the flow substrate.
+
+use proptest::prelude::*;
+use stepstone_flow::{FifoChannel, Flow, Packet, TimeDelta, Timestamp};
+
+/// Strategy: a sorted vector of timestamps in [0, 100s].
+fn sorted_timestamps(max_len: usize) -> impl Strategy<Value = Vec<Timestamp>> {
+    proptest::collection::vec(0i64..100_000_000, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.into_iter().map(Timestamp::from_micros).collect()
+    })
+}
+
+/// Strategy: non-negative delays in [0, 10s].
+fn delays(len: usize) -> impl Strategy<Value = Vec<TimeDelta>> {
+    proptest::collection::vec(0i64..10_000_000, len..=len)
+        .prop_map(|v| v.into_iter().map(TimeDelta::from_micros).collect())
+}
+
+proptest! {
+    #[test]
+    fn sorted_timestamps_always_build(ts in sorted_timestamps(200)) {
+        let flow = Flow::from_timestamps(ts.clone()).unwrap();
+        prop_assert_eq!(flow.len(), ts.len());
+        prop_assert_eq!(flow.timestamps(), ts);
+    }
+
+    #[test]
+    fn ipds_are_nonnegative_and_sum_to_duration(ts in sorted_timestamps(200)) {
+        let flow = Flow::from_timestamps(ts).unwrap();
+        let total: TimeDelta = flow.ipds().sum();
+        prop_assert_eq!(total, flow.duration());
+        for d in flow.ipds() {
+            prop_assert!(!d.is_negative());
+        }
+    }
+
+    #[test]
+    fn merge_is_size_additive_and_sorted(
+        a in sorted_timestamps(100),
+        b in sorted_timestamps(100),
+    ) {
+        let fa = Flow::from_timestamps(a).unwrap();
+        let fb = Flow::from_packets(
+            Flow::from_timestamps(b).unwrap().into_iter().map(Packet::into_chaff),
+        ).unwrap();
+        let merged = fa.merged_with(&fb);
+        prop_assert_eq!(merged.len(), fa.len() + fb.len());
+        prop_assert_eq!(merged.chaff_count(), fb.len());
+        for w in merged.packets().windows(2) {
+            prop_assert!(w[0].timestamp() <= w[1].timestamp());
+        }
+        // Payload packets keep their relative order and timestamps.
+        let payload: Vec<Timestamp> = merged
+            .iter()
+            .filter(|p| p.provenance().is_payload())
+            .map(|p| p.timestamp())
+            .collect();
+        prop_assert_eq!(payload, fa.timestamps());
+    }
+
+    #[test]
+    fn fifo_apply_is_monotone_and_never_early(
+        (ts, ds) in sorted_timestamps(100)
+            .prop_filter("nonempty", |v| !v.is_empty())
+            .prop_flat_map(|ts| {
+                let len = ts.len();
+                (Just(ts), delays(len))
+            }),
+    ) {
+        let flow = Flow::from_timestamps(ts).unwrap();
+        let out = FifoChannel::new().apply(&flow, &ds);
+        prop_assert_eq!(out.len(), flow.len());
+        for i in 0..flow.len() {
+            // Never released before arrival + own delay is violated only
+            // downward; FIFO can add extra waiting but not remove it.
+            prop_assert!(out.timestamp(i) >= flow.timestamp(i) + ds[i]);
+        }
+        for w in out.packets().windows(2) {
+            prop_assert!(w[0].timestamp() <= w[1].timestamp());
+        }
+    }
+
+    #[test]
+    fn subsequence_of_all_indices_is_identity(ts in sorted_timestamps(100)) {
+        let flow = Flow::from_timestamps(ts).unwrap();
+        let all: Vec<usize> = (0..flow.len()).collect();
+        prop_assert_eq!(flow.subsequence(all).unwrap(), flow);
+    }
+
+    #[test]
+    fn shift_roundtrips(ts in sorted_timestamps(100), by in -1_000_000i64..1_000_000) {
+        let flow = Flow::from_timestamps(ts).unwrap();
+        let d = TimeDelta::from_micros(by);
+        prop_assert_eq!(flow.shifted(d).shifted(-d), flow);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's computation-cost metric.
+
+use std::fmt;
+
+/// Counts *packet accesses* — the implementation-independent cost unit
+/// of the paper's §4: "we define computation cost as the number of
+/// packets had to be accessed to compute the best watermark".
+///
+/// Both the matching phase and every decode algorithm charge this meter;
+/// experiment harnesses read it per correlation.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_matching::CostMeter;
+///
+/// let mut m = CostMeter::new();
+/// m.charge(3);
+/// m.charge(1);
+/// assert_eq!(m.count(), 4);
+/// m.reset();
+/// assert_eq!(m.count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    count: u64,
+}
+
+impl CostMeter {
+    /// Creates a meter at zero.
+    pub const fn new() -> Self {
+        CostMeter { count: 0 }
+    }
+
+    /// Charges `packets` accesses.
+    pub fn charge(&mut self, packets: u64) {
+        self.count = self.count.saturating_add(packets);
+    }
+
+    /// Charges a single access.
+    pub fn charge_one(&mut self) {
+        self.charge(1);
+    }
+
+    /// Accesses so far.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// `true` once the meter has reached `bound` (used by the Optimal
+    /// algorithm's execution-time cap).
+    pub const fn exhausted(&self, bound: u64) -> bool {
+        self.count >= bound
+    }
+}
+
+impl fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} packet accesses", self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = CostMeter::new();
+        m.charge(10);
+        m.charge_one();
+        assert_eq!(m.count(), 11);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut m = CostMeter::new();
+        m.charge(u64::MAX);
+        m.charge(5);
+        assert_eq!(m.count(), u64::MAX);
+    }
+
+    #[test]
+    fn exhaustion_check() {
+        let mut m = CostMeter::new();
+        assert!(!m.exhausted(1));
+        m.charge(1);
+        assert!(m.exhausted(1));
+        assert!(!m.exhausted(2));
+    }
+
+    #[test]
+    fn reset_and_display() {
+        let mut m = CostMeter::new();
+        m.charge(7);
+        assert!(m.to_string().contains('7'));
+        m.reset();
+        assert_eq!(m, CostMeter::new());
+    }
+}

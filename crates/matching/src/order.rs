@@ -1,0 +1,105 @@
+//! Order-constraint utilities (the paper's assumption 3).
+
+/// A choice of downstream match for one upstream packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Selection {
+    /// Upstream packet index.
+    pub upstream: usize,
+    /// Chosen downstream packet index.
+    pub downstream: u32,
+}
+
+/// Checks the paper's order constraint over a set of selections:
+/// sorted by upstream index, the chosen downstream indices must be
+/// strictly increasing ("packets `p′ⱼ ∈ M(pᵢ)` and `p′ₖ ∈ M(pᵢ₊₁)` can
+/// be in the same subsequence only if `j < k`").
+///
+/// # Example
+///
+/// ```
+/// use stepstone_matching::{is_order_consistent, Selection};
+///
+/// let sel = |u, d| Selection { upstream: u, downstream: d };
+/// assert!(is_order_consistent(&[sel(0, 2), sel(3, 5), sel(4, 6)]));
+/// assert!(!is_order_consistent(&[sel(0, 5), sel(3, 5)])); // reuse
+/// assert!(!is_order_consistent(&[sel(0, 6), sel(3, 5)])); // inversion
+/// ```
+pub fn is_order_consistent(selections: &[Selection]) -> bool {
+    let mut sorted: Vec<Selection> = selections.to_vec();
+    sorted.sort_unstable_by_key(|s| s.upstream);
+    sorted
+        .windows(2)
+        .all(|w| w[0].upstream < w[1].upstream && w[0].downstream < w[1].downstream)
+}
+
+/// The largest candidate in a sorted slice that is strictly below
+/// `bound`, if any — the Greedy+ repair step's "last match that has no
+/// conflict with packets later than it".
+///
+/// # Example
+///
+/// ```
+/// use stepstone_matching::latest_before;
+///
+/// assert_eq!(latest_before(&[2, 4, 7, 9], 8), Some(7));
+/// assert_eq!(latest_before(&[2, 4], 2), None);
+/// assert_eq!(latest_before(&[], 5), None);
+/// ```
+pub fn latest_before(candidates: &[u32], bound: u32) -> Option<u32> {
+    match candidates.partition_point(|&c| c < bound) {
+        0 => None,
+        k => Some(candidates[k - 1]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(upstream: usize, downstream: u32) -> Selection {
+        Selection {
+            upstream,
+            downstream,
+        }
+    }
+
+    #[test]
+    fn empty_and_singletons_are_consistent() {
+        assert!(is_order_consistent(&[]));
+        assert!(is_order_consistent(&[sel(5, 9)]));
+    }
+
+    #[test]
+    fn detects_inversions_regardless_of_input_order() {
+        let sels = [sel(3, 4), sel(0, 7)];
+        assert!(!is_order_consistent(&sels));
+        let sels = [sel(0, 7), sel(3, 4)];
+        assert!(!is_order_consistent(&sels));
+    }
+
+    #[test]
+    fn detects_duplicate_downstream_use() {
+        assert!(!is_order_consistent(&[sel(0, 3), sel(1, 3)]));
+    }
+
+    #[test]
+    fn duplicate_upstream_is_inconsistent() {
+        // Two selections for the same upstream packet is a logic error
+        // upstream of this check; treat it as inconsistent.
+        assert!(!is_order_consistent(&[sel(2, 3), sel(2, 4)]));
+    }
+
+    #[test]
+    fn accepts_strictly_increasing_chains() {
+        let sels: Vec<Selection> = (0..50).map(|i| sel(i, (2 * i) as u32)).collect();
+        assert!(is_order_consistent(&sels));
+    }
+
+    #[test]
+    fn latest_before_edges() {
+        assert_eq!(latest_before(&[5], 6), Some(5));
+        assert_eq!(latest_before(&[5], 5), None);
+        assert_eq!(latest_before(&[1, 2, 3], u32::MAX), Some(3));
+        assert_eq!(latest_before(&[1, 2, 3], 0), None);
+    }
+}

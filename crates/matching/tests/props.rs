@@ -1,0 +1,159 @@
+//! Property-based tests for matching sets and simplification.
+
+use proptest::prelude::*;
+use stepstone_flow::{Flow, TimeDelta, Timestamp};
+use stepstone_matching::{is_order_consistent, CostMeter, Matcher, Selection};
+
+fn sorted_flow(max_len: usize, span_micros: i64) -> impl Strategy<Value = Flow> {
+    proptest::collection::vec(0i64..span_micros, 1..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        Flow::from_timestamps(v.into_iter().map(Timestamp::from_micros)).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matching sets contain exactly the packets allowed by the timing
+    /// constraint — checked against the O(n·m) definition.
+    #[test]
+    fn matching_sets_match_the_definition(
+        up in sorted_flow(40, 1_000_000),
+        down in sorted_flow(60, 1_200_000),
+        delta_micros in 0i64..400_000,
+    ) {
+        let delta = TimeDelta::from_micros(delta_micros);
+        let mut meter = CostMeter::new();
+        let sets = Matcher::new(delta).matching_sets(&up, &down, &mut meter);
+        // Reference computation.
+        let reference: Vec<Vec<u32>> = (0..up.len())
+            .map(|i| {
+                (0..down.len())
+                    .filter(|&j| {
+                        let d = down.timestamp(j) - up.timestamp(i);
+                        d >= TimeDelta::ZERO && d <= delta
+                    })
+                    .map(|j| j as u32)
+                    .collect()
+            })
+            .collect();
+        match sets {
+            Some(sets) => {
+                for i in 0..up.len() {
+                    prop_assert_eq!(sets.set(i), reference[i].as_slice(), "packet {}", i);
+                }
+            }
+            None => {
+                prop_assert!(
+                    reference.iter().any(Vec::is_empty),
+                    "matcher gave up although every set is non-empty"
+                );
+            }
+        }
+    }
+
+    /// Tightening is sound: whenever it succeeds, choosing every
+    /// packet's first candidate is an order-consistent complete matching
+    /// drawn from the ORIGINAL sets.
+    #[test]
+    fn tighten_success_produces_a_feasible_first_fit(
+        up in sorted_flow(40, 500_000),
+        down in sorted_flow(80, 700_000),
+        delta_micros in 1i64..400_000,
+    ) {
+        let delta = TimeDelta::from_micros(delta_micros);
+        let mut meter = CostMeter::new();
+        let Some(original) = Matcher::new(delta).matching_sets(&up, &down, &mut meter) else {
+            return Ok(());
+        };
+        let mut tightened = original.clone();
+        if !tightened.tighten(&mut meter) {
+            return Ok(());
+        }
+        let selections: Vec<Selection> = (0..tightened.len())
+            .map(|i| Selection { upstream: i, downstream: tightened.first(i) })
+            .collect();
+        prop_assert!(is_order_consistent(&selections));
+        for s in &selections {
+            prop_assert!(
+                original.set(s.upstream).contains(&s.downstream),
+                "tightening invented a candidate"
+            );
+        }
+    }
+
+    /// Tightening never removes a candidate that participates in some
+    /// order-consistent complete matching (checked by brute force on
+    /// tiny instances).
+    #[test]
+    fn tighten_only_removes_unusable_candidates(
+        up in sorted_flow(6, 60_000),
+        down in sorted_flow(10, 80_000),
+        delta_micros in 1i64..50_000,
+    ) {
+        let delta = TimeDelta::from_micros(delta_micros);
+        let mut meter = CostMeter::new();
+        let Some(original) = Matcher::new(delta).matching_sets(&up, &down, &mut meter) else {
+            return Ok(());
+        };
+        let mut tightened = original.clone();
+        let feasible = tightened.tighten(&mut meter);
+
+        // Brute-force all complete order-consistent matchings.
+        fn enumerate(
+            sets: &stepstone_matching::MatchingSets,
+            i: usize,
+            prev: i64,
+            used: &mut Vec<u32>,
+            all: &mut Vec<Vec<u32>>,
+        ) {
+            if i == sets.len() {
+                all.push(used.clone());
+                return;
+            }
+            for &c in sets.set(i) {
+                if (c as i64) > prev {
+                    used.push(c);
+                    enumerate(sets, i + 1, c as i64, used, all);
+                    used.pop();
+                }
+            }
+        }
+        let mut matchings = Vec::new();
+        enumerate(&original, 0, -1, &mut Vec::new(), &mut matchings);
+
+        prop_assert_eq!(feasible, !matchings.is_empty(), "feasibility disagrees");
+        if feasible {
+            // Every candidate used by any matching must survive.
+            for m in &matchings {
+                for (i, &c) in m.iter().enumerate() {
+                    prop_assert!(
+                        tightened.set(i).contains(&c),
+                        "tightening removed usable candidate {} of packet {}",
+                        c,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    /// The matching-phase cost is linear: bounded by two scans of the
+    /// suspicious flow plus one charge per recorded candidate.
+    #[test]
+    fn matching_cost_is_linear(
+        up in sorted_flow(50, 500_000),
+        down in sorted_flow(80, 500_000),
+        delta_micros in 0i64..300_000,
+    ) {
+        let mut meter = CostMeter::new();
+        let sets = Matcher::new(TimeDelta::from_micros(delta_micros))
+            .matching_sets(&up, &down, &mut meter);
+        // (On early failure, candidates recorded before the abort are
+        // charged but not returned, so only bound the success path.)
+        if let Some(sets) = sets {
+            let recorded = sets.total_candidates();
+            prop_assert!(meter.count() <= (2 * down.len() + recorded + up.len()) as u64);
+        }
+    }
+}

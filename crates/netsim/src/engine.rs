@@ -1,0 +1,179 @@
+//! A minimal deterministic discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use stepstone_flow::{Packet, Timestamp};
+
+use crate::node::NodeId;
+
+/// A packet delivery scheduled for a node at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated delivery time.
+    pub time: Timestamp,
+    /// Destination node.
+    pub node: NodeId,
+    /// The packet being delivered.
+    pub packet: Packet,
+    /// Monotone sequence number assigned by the queue; makes event
+    /// ordering total and the simulation deterministic.
+    seq: u64,
+}
+
+impl Event {
+    /// The tie-breaking sequence number assigned at scheduling time.
+    pub const fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first,
+// breaking time ties by insertion order (FIFO).
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_netsim::{EventQueue, NodeId};
+/// use stepstone_flow::{Packet, Timestamp};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Timestamp::from_secs(2), NodeId::new(0), Packet::new(Timestamp::ZERO, 64));
+/// q.schedule(Timestamp::from_secs(1), NodeId::new(1), Packet::new(Timestamp::ZERO, 64));
+/// assert_eq!(q.pop().unwrap().time, Timestamp::from_secs(1));
+/// assert_eq!(q.pop().unwrap().time, Timestamp::from_secs(2));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules delivery of `packet` to `node` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current simulation time — the
+    /// engine does not support causality violations.
+    pub fn schedule(&mut self, time: Timestamp, node: NodeId, packet: Packet) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            node,
+            packet,
+            seq,
+        });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Event> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub const fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet::new(Timestamp::ZERO, 64)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for secs in [5, 1, 3, 2, 4] {
+            q.schedule(Timestamp::from_secs(secs), NodeId::new(0), pkt());
+        }
+        let times: Vec<i64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Timestamp::from_secs(1);
+        q.schedule(t, NodeId::new(10), pkt());
+        q.schedule(t, NodeId::new(20), pkt());
+        q.schedule(t, NodeId::new(30), pkt());
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.node.index()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(2), NodeId::new(0), pkt());
+        assert_eq!(q.now(), Timestamp::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_scheduling_into_the_past() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(2), NodeId::new(0), pkt());
+        q.pop();
+        q.schedule(Timestamp::from_secs(1), NodeId::new(0), pkt());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Timestamp::ZERO, NodeId::new(0), pkt());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Network elements: wires, FIFO relay hosts and observation taps.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use stepstone_flow::{Flow, FlowBuilder, Packet, TimeDelta, Timestamp};
+
+/// Identifies a node within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a node does with a delivered packet: forward it (after a delay)
+/// to another node, and/or record it.
+///
+/// Implementations must be causal: the returned forwarding delay must be
+/// non-negative.
+pub trait Node: std::fmt::Debug {
+    /// Handles `packet` arriving at simulated time `now`. Returns the
+    /// forwarding delay and the packet to forward (usually the same
+    /// packet), or `None` if the node absorbs it.
+    fn receive(
+        &mut self,
+        packet: Packet,
+        now: Timestamp,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<(TimeDelta, Packet)>;
+}
+
+/// A propagation link with fixed latency plus uniform jitter in
+/// `[0, jitter]`.
+///
+/// Jitter alone may reorder packets; in a real network, reordering of an
+/// interactive TCP stream is hidden from the application by the
+/// receiver, and the next hop's [`RelayHost`] restores FIFO order — the
+/// simulation mirrors that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    latency: TimeDelta,
+    jitter: TimeDelta,
+}
+
+impl Wire {
+    /// Creates a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` or `jitter` is negative.
+    pub fn new(latency: TimeDelta, jitter: TimeDelta) -> Self {
+        assert!(!latency.is_negative(), "wire latency must be non-negative");
+        assert!(!jitter.is_negative(), "wire jitter must be non-negative");
+        Wire { latency, jitter }
+    }
+
+    /// The fixed propagation latency.
+    pub const fn latency(&self) -> TimeDelta {
+        self.latency
+    }
+
+    /// The maximum uniform jitter.
+    pub const fn jitter(&self) -> TimeDelta {
+        self.jitter
+    }
+
+    /// An upper bound on the delay this wire can add to one packet.
+    pub fn max_delay(&self) -> TimeDelta {
+        self.latency + self.jitter
+    }
+}
+
+impl Node for Wire {
+    fn receive(
+        &mut self,
+        packet: Packet,
+        _now: Timestamp,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<(TimeDelta, Packet)> {
+        let jitter = if self.jitter == TimeDelta::ZERO {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+        };
+        Some((self.latency + jitter, packet))
+    }
+}
+
+/// A stepping-stone host: a FIFO queue with a per-packet service time.
+///
+/// The host cannot release a packet before it has finished serving the
+/// previous one, which is exactly the paper's order-preservation
+/// assumption. Service time is `base + U(0, jitter)` (decryption,
+/// re-encryption, scheduling noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayHost {
+    service: TimeDelta,
+    jitter: TimeDelta,
+    /// Time the previous packet finished service.
+    busy_until: Option<Timestamp>,
+}
+
+impl RelayHost {
+    /// Creates a relay host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` or `jitter` is negative.
+    pub fn new(service: TimeDelta, jitter: TimeDelta) -> Self {
+        assert!(!service.is_negative(), "service time must be non-negative");
+        assert!(!jitter.is_negative(), "service jitter must be non-negative");
+        RelayHost {
+            service,
+            jitter,
+            busy_until: None,
+        }
+    }
+
+    /// The base per-packet service time.
+    pub const fn service(&self) -> TimeDelta {
+        self.service
+    }
+
+    /// The maximum uniform service jitter.
+    pub const fn jitter(&self) -> TimeDelta {
+        self.jitter
+    }
+}
+
+impl Node for RelayHost {
+    fn receive(
+        &mut self,
+        packet: Packet,
+        now: Timestamp,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<(TimeDelta, Packet)> {
+        let jitter = if self.jitter == TimeDelta::ZERO {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+        };
+        // Service starts when both the packet has arrived and the relay
+        // is free (FIFO).
+        let start = match self.busy_until {
+            Some(busy) => now.max(busy),
+            None => now,
+        };
+        let done = start + self.service + jitter;
+        self.busy_until = Some(done);
+        Some((done - now, packet))
+    }
+}
+
+/// Records every packet it sees, in arrival order, and forwards it
+/// unchanged with zero delay.
+#[derive(Debug, Clone, Default)]
+pub struct Tap {
+    packets: Vec<Packet>,
+}
+
+impl Tap {
+    /// Creates an empty tap.
+    pub fn new() -> Self {
+        Tap::default()
+    }
+
+    /// Number of packets observed so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The observed flow.
+    ///
+    /// Arrival order at a tap is delivery order of the engine, which is
+    /// time-sorted, so this cannot fail.
+    pub fn flow(&self) -> Flow {
+        let b: FlowBuilder = self.packets.iter().copied().collect();
+        b.finish()
+    }
+}
+
+impl Node for Tap {
+    fn receive(
+        &mut self,
+        packet: Packet,
+        now: Timestamp,
+        _rng: &mut ChaCha8Rng,
+    ) -> Option<(TimeDelta, Packet)> {
+        self.packets.push(packet.at(now));
+        Some((TimeDelta::ZERO, packet.at(now)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_traffic::Seed;
+
+    fn rng() -> ChaCha8Rng {
+        Seed::new(1).rng(0)
+    }
+
+    fn pkt(secs: i64) -> Packet {
+        Packet::new(Timestamp::from_secs(secs), 64)
+    }
+
+    #[test]
+    fn wire_adds_latency_within_bounds() {
+        let mut w = Wire::new(TimeDelta::from_millis(50), TimeDelta::from_millis(20));
+        let mut r = rng();
+        for _ in 0..200 {
+            let (d, _) = w.receive(pkt(0), Timestamp::ZERO, &mut r).unwrap();
+            assert!(d >= TimeDelta::from_millis(50) && d <= TimeDelta::from_millis(70), "{d}");
+        }
+        assert_eq!(w.max_delay(), TimeDelta::from_millis(70));
+    }
+
+    #[test]
+    fn zero_jitter_wire_is_deterministic() {
+        let mut w = Wire::new(TimeDelta::from_millis(10), TimeDelta::ZERO);
+        let mut r = rng();
+        let (d, _) = w.receive(pkt(0), Timestamp::ZERO, &mut r).unwrap();
+        assert_eq!(d, TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn relay_serializes_back_to_back_packets() {
+        let mut h = RelayHost::new(TimeDelta::from_millis(100), TimeDelta::ZERO);
+        let mut r = rng();
+        let now = Timestamp::ZERO;
+        let (d1, _) = h.receive(pkt(0), now, &mut r).unwrap();
+        let (d2, _) = h.receive(pkt(0), now, &mut r).unwrap();
+        assert_eq!(d1, TimeDelta::from_millis(100));
+        // Second packet waits for the first to finish service.
+        assert_eq!(d2, TimeDelta::from_millis(200));
+    }
+
+    #[test]
+    fn relay_is_idle_after_a_gap() {
+        let mut h = RelayHost::new(TimeDelta::from_millis(100), TimeDelta::ZERO);
+        let mut r = rng();
+        let (_, _) = h.receive(pkt(0), Timestamp::ZERO, &mut r).unwrap();
+        let (d2, _) = h.receive(pkt(0), Timestamp::from_secs(10), &mut r).unwrap();
+        assert_eq!(d2, TimeDelta::from_millis(100));
+    }
+
+    #[test]
+    fn tap_records_in_arrival_order() {
+        let mut t = Tap::new();
+        let mut r = rng();
+        assert!(t.is_empty());
+        t.receive(pkt(0), Timestamp::from_secs(1), &mut r);
+        t.receive(pkt(0), Timestamp::from_secs(2), &mut r);
+        assert_eq!(t.len(), 2);
+        let f = t.flow();
+        assert_eq!(f.timestamp(0), Timestamp::from_secs(1));
+        assert_eq!(f.timestamp(1), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn wire_rejects_negative_latency() {
+        let _ = Wire::new(TimeDelta::from_micros(-1), TimeDelta::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn relay_rejects_negative_service() {
+        let _ = RelayHost::new(TimeDelta::from_micros(-1), TimeDelta::ZERO);
+    }
+}

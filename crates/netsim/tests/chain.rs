@@ -1,0 +1,189 @@
+//! End-to-end properties of the stepping-stone chain simulator.
+
+use proptest::prelude::*;
+use stepstone_flow::{Flow, TimeDelta, Timestamp};
+use stepstone_netsim::{RelayHost, SteppingStoneChain, Wire};
+use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+
+fn interactive_flow(packets: usize, seed: u64) -> Flow {
+    SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        packets,
+        Timestamp::ZERO,
+        &mut Seed::new(seed).rng(0),
+    )
+}
+
+fn two_hop_chain() -> SteppingStoneChain {
+    SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(40), TimeDelta::from_millis(20))
+        .hop(TimeDelta::from_millis(70), TimeDelta::from_millis(35))
+        .build()
+}
+
+#[test]
+fn every_packet_survives_every_hop() {
+    let origin = interactive_flow(400, 1);
+    let obs = two_hop_chain().simulate(&origin, Seed::new(2));
+    assert_eq!(obs.hops(), 2);
+    for hop in obs.iter() {
+        assert_eq!(hop.len(), origin.len());
+    }
+}
+
+#[test]
+fn order_and_provenance_are_preserved() {
+    let origin = interactive_flow(300, 3);
+    let obs = two_hop_chain().simulate(&origin, Seed::new(4));
+    for hop in obs.iter() {
+        let indices: Vec<u32> = hop
+            .iter()
+            .map(|p| p.provenance().upstream_index().expect("no chaff in netsim"))
+            .collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "provenance order broken");
+        assert_eq!(indices, (0..origin.len() as u32).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn delays_are_positive_and_mostly_bounded() {
+    let origin = interactive_flow(500, 5);
+    let chain = two_hop_chain();
+    let obs = chain.simulate(&origin, Seed::new(6));
+    let last = obs.last();
+    let bound = chain.max_unqueued_delay();
+    let mut over_bound = 0usize;
+    for (i, p) in last.iter().enumerate() {
+        let delay = p.timestamp() - origin.timestamp(i);
+        assert!(delay > TimeDelta::ZERO, "packet {i} arrived early: {delay}");
+        if delay > bound {
+            over_bound += 1; // queueing behind a burst can exceed it
+        }
+    }
+    // Queueing excess should be rare for interactive traffic.
+    assert!(
+        over_bound < last.len() / 10,
+        "{over_bound} of {} packets exceeded the unqueued bound",
+        last.len()
+    );
+}
+
+#[test]
+fn downstream_hops_only_add_delay() {
+    let origin = interactive_flow(200, 7);
+    let obs = two_hop_chain().simulate(&origin, Seed::new(8));
+    let first = obs.at_hop(0);
+    let last = obs.at_hop(1);
+    for i in 0..origin.len() {
+        assert!(last.timestamp(i) > first.timestamp(i));
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_in_seed() {
+    let origin = interactive_flow(200, 9);
+    let chain = two_hop_chain();
+    let a = chain.simulate(&origin, Seed::new(10));
+    let b = chain.simulate(&origin, Seed::new(10));
+    let c = chain.simulate(&origin, Seed::new(11));
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn explicit_elements_are_honoured() {
+    let chain = SteppingStoneChain::builder()
+        .hop_with(
+            Wire::new(TimeDelta::from_secs(1), TimeDelta::ZERO),
+            RelayHost::new(TimeDelta::ZERO, TimeDelta::ZERO),
+        )
+        .build();
+    let origin = Flow::from_timestamps([Timestamp::ZERO, Timestamp::from_secs(5)]).unwrap();
+    let obs = chain.simulate(&origin, Seed::new(1));
+    // Pure 1s shift, no jitter anywhere.
+    assert_eq!(
+        obs.last().timestamps(),
+        vec![Timestamp::from_secs(1), Timestamp::from_secs(6)]
+    );
+}
+
+#[test]
+#[should_panic(expected = "at least one hop")]
+fn empty_chain_is_rejected() {
+    let _ = SteppingStoneChain::builder().build();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chain_output_is_always_a_valid_ordered_flow(
+        seed in 0u64..1000,
+        packets in 1usize..150,
+        latency_ms in 1i64..200,
+        jitter_ms in 0i64..100,
+    ) {
+        let origin = interactive_flow(packets, seed);
+        let chain = SteppingStoneChain::builder()
+            .hop(TimeDelta::from_millis(latency_ms), TimeDelta::from_millis(jitter_ms))
+            .build();
+        let obs = chain.simulate(&origin, Seed::new(seed ^ 0xABCD));
+        let out = obs.last();
+        prop_assert_eq!(out.len(), origin.len());
+        for w in out.packets().windows(2) {
+            prop_assert!(w[0].timestamp() <= w[1].timestamp());
+        }
+        for i in 0..origin.len() {
+            prop_assert!(out.timestamp(i) >= origin.timestamp(i));
+        }
+    }
+}
+
+#[test]
+fn chaff_injecting_relay_mixes_cover_traffic() {
+    let origin = interactive_flow(300, 21);
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(40), TimeDelta::from_millis(10))
+        .with_chaff(2.0)
+        .hop(TimeDelta::from_millis(60), TimeDelta::from_millis(20))
+        .build();
+    let obs = chain.simulate(&origin, Seed::new(22));
+    // Chaff appears at the injecting hop and persists downstream.
+    let first = obs.at_hop(0);
+    let last = obs.at_hop(1);
+    assert!(first.chaff_count() > 0, "no chaff at hop 0");
+    assert_eq!(first.chaff_count(), last.chaff_count(), "chaff lost in transit");
+    // Payload is fully preserved and ordered.
+    assert_eq!(last.payload_indices().len(), origin.len());
+    let payload: Vec<u32> = last
+        .iter()
+        .filter_map(|p| p.provenance().upstream_index())
+        .collect();
+    let mut sorted = payload.clone();
+    sorted.sort_unstable();
+    assert_eq!(payload, sorted);
+    // Rough rate check: ~2 pkt/s over the origin duration.
+    let expected = 2.0 * origin.duration().as_secs_f64();
+    let c = first.chaff_count() as f64;
+    assert!(c > expected * 0.6 && c < expected * 1.5, "chaff count {c} vs {expected}");
+}
+
+#[test]
+fn chaff_free_hops_stay_clean() {
+    let origin = interactive_flow(100, 23);
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(40), TimeDelta::from_millis(10))
+        .hop(TimeDelta::from_millis(60), TimeDelta::from_millis(20))
+        .with_chaff(3.0)
+        .build();
+    let obs = chain.simulate(&origin, Seed::new(24));
+    assert_eq!(obs.at_hop(0).chaff_count(), 0, "chaff leaked upstream");
+    assert!(obs.at_hop(1).chaff_count() > 0);
+}
+
+#[test]
+#[should_panic(expected = "must follow a hop")]
+fn with_chaff_requires_a_hop() {
+    let _ = SteppingStoneChain::builder().with_chaff(1.0);
+}

@@ -1,0 +1,165 @@
+//! Cost aggregation in the paper's packets-accessed unit.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregates per-correlation costs.
+///
+/// The paper plots costs on a log scale and notes "in order to draw
+/// figures in logarithm scale, we change 0 to 1" — [`mean_for_log`]
+/// applies the same convention.
+///
+/// [`mean_for_log`]: CostSummary::mean_for_log
+///
+/// # Example
+///
+/// ```
+/// use stepstone_stats::CostSummary;
+///
+/// let mut c = CostSummary::new();
+/// c.record(0);
+/// c.record(100);
+/// assert_eq!(c.mean(), 50.0);
+/// assert_eq!(c.mean_for_log(), 50.5); // zero plotted as one
+/// assert_eq!(c.max(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostSummary {
+    total: u128,
+    total_for_log: u128,
+    count: u64,
+    max: u64,
+    min: u64,
+}
+
+impl CostSummary {
+    /// Creates an empty summary.
+    pub const fn new() -> Self {
+        CostSummary {
+            total: 0,
+            total_for_log: 0,
+            count: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one correlation's cost.
+    pub fn record(&mut self, cost: u64) {
+        self.total += cost as u128;
+        self.total_for_log += cost.max(1) as u128;
+        self.count += 1;
+        self.max = self.max.max(cost);
+        self.min = self.min.min(cost);
+    }
+
+    /// Merges another summary.
+    pub fn merge(&mut self, other: CostSummary) {
+        self.total += other.total;
+        self.total_for_log += other.total_for_log;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded correlations.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean cost (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Mean with the paper's log-plot convention (each 0 counted as 1).
+    pub fn mean_for_log(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.total_for_log as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded cost (0 for an empty summary).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded cost (0 for an empty summary).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+}
+
+impl fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.0} accesses over {} runs (min {}, max {})",
+            self.mean(),
+            self.count,
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let c = CostSummary::new();
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.mean_for_log(), 1.0);
+        assert_eq!(c.max(), 0);
+        assert_eq!(c.min(), 0);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn records_and_merges() {
+        let mut a = CostSummary::new();
+        a.record(10);
+        a.record(30);
+        let mut b = CostSummary::new();
+        b.record(50);
+        a.merge(b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 30.0);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 50);
+    }
+
+    #[test]
+    fn log_convention_promotes_zero_to_one() {
+        let mut c = CostSummary::new();
+        c.record(0);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.mean_for_log(), 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut c = CostSummary::new();
+        c.record(5);
+        let s = c.to_string();
+        assert!(s.contains("mean 5"), "{s}");
+        assert!(s.contains("1 runs"), "{s}");
+    }
+}

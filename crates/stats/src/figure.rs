@@ -1,0 +1,346 @@
+//! Labelled series and figure rendering (ASCII table, ASCII chart, CSV).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled data series: `(x, y)` points in insertion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The y value at a given x, if present (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|&(_, y)| y)
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+/// A reproduced table/figure: several series over a shared x axis.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    id: String,
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_y: bool,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Marks the y axis as logarithmic (the cost figures).
+    #[must_use]
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Returns the figure with a new id and title, keeping axes, series
+    /// and scale (used for the synthetic-corpus reruns).
+    #[must_use]
+    pub fn relabelled(mut self, id: impl Into<String>, title: impl Into<String>) -> Self {
+        self.id = id.into();
+        self.title = title.into();
+        self
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The figure id (e.g. `"fig3"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The series.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Looks up a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label() == label)
+    }
+
+    /// All distinct x values across series, sorted.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points().iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        xs
+    }
+
+    /// Renders an aligned ASCII table: one row per x, one column per
+    /// series.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(
+            out,
+            "# y: {}{}",
+            self.y_label,
+            if self.log_y { " (log scale in the paper)" } else { "" }
+        );
+        let mut header = format!("{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {:>14}", truncate(s.label(), 14));
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.xs() {
+            let mut row = format!("{x:>12.3}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) if self.log_y => {
+                        let _ = write!(row, " {y:>14.0}");
+                    }
+                    Some(y) => {
+                        let _ = write!(row, " {y:>14.4}");
+                    }
+                    None => {
+                        let _ = write!(row, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Renders a rough ASCII chart (one line per series), mostly for a
+    /// quick visual check of series shapes in terminals.
+    pub fn to_ascii_chart(&self, width: usize) -> String {
+        const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let xs = self.xs();
+        if xs.is_empty() {
+            return out;
+        }
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points().iter().map(|&(_, y)| self.scale_y(y)))
+            .collect();
+        let (ymin, ymax) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                (lo.min(y), hi.max(y))
+            });
+        let span = (ymax - ymin).max(1e-12);
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            let mut line = vec![' '; width];
+            for &(x, y) in s.points() {
+                let xi = position(x, &xs, width);
+                let level = (self.scale_y(y) - ymin) / span;
+                // Render as a bar height into a single row via shade.
+                line[xi] = shade(glyph, level);
+            }
+            let _ = writeln!(out, "{:>14} |{}|", truncate(s.label(), 14), line.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>14}  x: {} ∈ [{:.1}, {:.1}]", "", self.x_label, xs[0], xs[xs.len() - 1]);
+        out
+    }
+
+    /// Renders CSV: `x,<label1>,<label2>,…`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = self.x_label.replace(',', ";");
+        for s in &self.series {
+            let _ = write!(header, ",{}", s.label().replace(',', ";"));
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.xs() {
+            let mut row = format!("{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, ",{y}");
+                    }
+                    None => row.push(','),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    fn scale_y(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.max(1.0).log10()
+        } else {
+            y
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+fn position(x: f64, xs: &[f64], width: usize) -> usize {
+    let (lo, hi) = (xs[0], xs[xs.len() - 1]);
+    if hi <= lo {
+        return 0;
+    }
+    (((x - lo) / (hi - lo)) * (width.saturating_sub(1)) as f64).round() as usize
+}
+
+fn shade(glyph: char, level: f64) -> char {
+    if level >= 0.5 {
+        glyph.to_ascii_uppercase()
+    } else {
+        glyph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut a = Series::new("greedy");
+        a.extend([(0.0, 1.0), (1.0, 0.9)]);
+        let mut b = Series::new("zhang");
+        b.extend([(0.0, 0.8), (1.0, 0.7)]);
+        Figure::new("fig3", "Detection", "λc", "rate")
+            .with_series(a)
+            .with_series(b)
+    }
+
+    #[test]
+    fn xs_are_sorted_and_deduped() {
+        assert_eq!(sample().xs(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn y_lookup() {
+        let f = sample();
+        assert_eq!(f.series_by_label("greedy").unwrap().y_at(1.0), Some(0.9));
+        assert_eq!(f.series_by_label("zhang").unwrap().y_at(2.0), None);
+        assert!(f.series_by_label("nope").is_none());
+    }
+
+    #[test]
+    fn table_contains_all_values() {
+        let t = sample().to_table();
+        assert!(t.contains("fig3"), "{t}");
+        assert!(t.contains("greedy"), "{t}");
+        assert!(t.contains("0.9000"), "{t}");
+        assert!(t.contains("0.7000"), "{t}");
+    }
+
+    #[test]
+    fn table_marks_missing_points() {
+        let mut sparse = Series::new("sparse");
+        sparse.push(2.0, 0.5);
+        let f = sample().with_series(sparse);
+        let t = f.to_table();
+        assert!(t.lines().any(|l| l.contains('-')), "{t}");
+    }
+
+    #[test]
+    fn csv_roundtrips_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("λc,greedy,zhang"));
+        assert_eq!(lines.next(), Some("0,1,0.8"));
+        assert_eq!(lines.next(), Some("1,0.9,0.7"));
+    }
+
+    #[test]
+    fn log_figures_render_whole_numbers() {
+        let mut s = Series::new("cost");
+        s.push(0.0, 12345.0);
+        let f = Figure::new("fig7", "Costs", "λc", "accesses")
+            .with_log_y()
+            .with_series(s);
+        assert!(f.to_table().contains("12345"));
+    }
+
+    #[test]
+    fn ascii_chart_mentions_series() {
+        let chart = sample().to_ascii_chart(40);
+        assert!(chart.contains("greedy"), "{chart}");
+        assert!(chart.contains("x: λc"), "{chart}");
+    }
+
+    #[test]
+    fn empty_figure_renders_without_panicking() {
+        let f = Figure::new("f", "t", "x", "y");
+        assert!(f.to_table().contains("# f"));
+        assert!(!f.to_ascii_chart(10).is_empty());
+        assert_eq!(f.to_csv().lines().count(), 1);
+    }
+}

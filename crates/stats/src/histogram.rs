@@ -1,0 +1,193 @@
+//! Small integer histograms (Hamming distances, set sizes).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over small non-negative integers, with an overflow
+/// bucket.
+///
+/// Used to inspect best-watermark Hamming-distance distributions and
+/// matching-set sizes.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_stats::Histogram;
+///
+/// let mut h = Histogram::new(8);
+/// h.record(0);
+/// h.record(0);
+/// h.record(3);
+/// h.record(99); // lands in the overflow bucket
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.median(), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=max_value`.
+    pub fn new(max_value: usize) -> Self {
+        Histogram {
+            buckets: vec![0; max_value + 1],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: usize) {
+        match self.buckets.get_mut(value) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `value` (0 beyond the range).
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Observations beyond the bucket range.
+    pub const fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The (lower) median bucket, `None` when empty or when the median
+    /// falls in the overflow bucket.
+    pub fn median(&self) -> Option<usize> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen * 2 >= total {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Fraction of observations at or below `value` (overflow counts as
+    /// above every bucket).
+    pub fn cdf(&self, value: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.buckets.iter().take(value + 1).sum();
+        upto as f64 / total as f64
+    }
+
+    /// Merges another histogram (must have the same bucket count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histograms must have matching bucket ranges"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let bar = "#".repeat(((b * 40) / max) as usize);
+            writeln!(f, "{i:>4} {b:>8} {bar}")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  >{} {:>8}", self.buckets.len() - 1, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 2, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn median_and_cdf() {
+        let mut h = Histogram::new(10);
+        for v in [1, 2, 2, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.median(), Some(2));
+        assert!((h.cdf(2) - 0.6).abs() < 1e-12);
+        assert!((h.cdf(10) - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(3).median(), None);
+        assert_eq!(Histogram::new(3).cdf(1), 0.0);
+    }
+
+    #[test]
+    fn median_in_overflow_is_none() {
+        let mut h = Histogram::new(1);
+        h.record(5);
+        h.record(5);
+        h.record(0);
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(3);
+        a.record(0);
+        let mut b = Histogram::new(3);
+        b.record(0);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching bucket ranges")]
+    fn merge_rejects_mismatched_ranges() {
+        Histogram::new(2).merge(&Histogram::new(3));
+    }
+
+    #[test]
+    fn display_draws_bars() {
+        let mut h = Histogram::new(2);
+        h.record(1);
+        h.record(1);
+        h.record(5);
+        let s = h.to_string();
+        assert!(s.contains('#'), "{s}");
+        assert!(s.contains(">2"), "{s}");
+    }
+}

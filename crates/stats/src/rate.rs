@@ -1,0 +1,159 @@
+//! Binomial rate estimates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A success rate over a number of Bernoulli trials — detection rates
+/// and false-positive rates in the experiments.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RateEstimate {
+    successes: u64,
+    trials: u64,
+}
+
+impl RateEstimate {
+    /// Creates an estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(
+            successes <= trials,
+            "successes {successes} cannot exceed trials {trials}"
+        );
+        RateEstimate { successes, trials }
+    }
+
+    /// An empty estimate to accumulate into.
+    pub const fn empty() -> Self {
+        RateEstimate {
+            successes: 0,
+            trials: 0,
+        }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Merges another estimate into this one.
+    pub fn merge(&mut self, other: RateEstimate) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Number of successes.
+    pub const fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    pub const fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The point estimate (0 for zero trials).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score interval at the given z (1.96 ≈ 95%).
+    ///
+    /// Preferred over the normal approximation because experiment rates
+    /// sit near 0 and 1, where the Wald interval degenerates.
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+}
+
+impl fmt::Display for RateEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ({}/{})",
+            self.rate(),
+            self.successes,
+            self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimates() {
+        assert_eq!(RateEstimate::new(0, 10).rate(), 0.0);
+        assert_eq!(RateEstimate::new(10, 10).rate(), 1.0);
+        assert_eq!(RateEstimate::new(3, 12).rate(), 0.25);
+        assert_eq!(RateEstimate::empty().rate(), 0.0);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut r = RateEstimate::empty();
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        assert_eq!(r.successes(), 2);
+        assert_eq!(r.trials(), 3);
+        let mut s = RateEstimate::new(1, 1);
+        s.merge(r);
+        assert_eq!(s, RateEstimate::new(3, 4));
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_and_shrinks() {
+        let small = RateEstimate::new(9, 10);
+        let large = RateEstimate::new(900, 1000);
+        let (lo_s, hi_s) = small.wilson_interval(1.96);
+        let (lo_l, hi_l) = large.wilson_interval(1.96);
+        assert!(lo_s < 0.9 && 0.9 < hi_s);
+        assert!(lo_l < 0.9 && 0.9 < hi_l);
+        assert!(hi_l - lo_l < hi_s - lo_s);
+    }
+
+    #[test]
+    fn wilson_interval_stays_in_unit_range() {
+        for (s, t) in [(0u64, 5u64), (5, 5), (1, 2)] {
+            let (lo, hi) = RateEstimate::new(s, t).wilson_interval(1.96);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+            assert!(lo <= hi);
+        }
+        assert_eq!(RateEstimate::empty().wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_impossible_counts() {
+        let _ = RateEstimate::new(2, 1);
+    }
+
+    #[test]
+    fn display_shows_counts() {
+        assert_eq!(RateEstimate::new(1, 4).to_string(), "0.250 (1/4)");
+    }
+}

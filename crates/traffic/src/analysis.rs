@@ -1,0 +1,164 @@
+//! Descriptive statistics of flows (for corpus validation and
+//! diagnostics).
+
+use std::fmt;
+
+use stepstone_flow::{Flow, TimeDelta};
+
+/// Summary statistics of one flow's timing behaviour.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_traffic::{FlowSummary, InteractiveProfile, Seed, SessionGenerator};
+/// use stepstone_flow::Timestamp;
+///
+/// let flow = SessionGenerator::new(InteractiveProfile::ssh())
+///     .generate(500, Timestamp::ZERO, &mut Seed::new(1).rng(0));
+/// let s = FlowSummary::of(&flow);
+/// assert_eq!(s.packets, 500);
+/// assert!(s.burstiness > 1.0); // interactive traffic is bursty
+/// assert!(s.ipd_p50 < s.ipd_p99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSummary {
+    /// Number of packets.
+    pub packets: usize,
+    /// First-to-last packet span.
+    pub duration: TimeDelta,
+    /// Mean arrival rate in packets/second.
+    pub mean_rate: f64,
+    /// Median inter-packet delay.
+    pub ipd_p50: TimeDelta,
+    /// 90th-percentile inter-packet delay.
+    pub ipd_p90: TimeDelta,
+    /// 99th-percentile inter-packet delay.
+    pub ipd_p99: TimeDelta,
+    /// Peak one-second window rate divided by the mean rate (≈1 for
+    /// Poisson traffic, ≫1 for keystroke bursts).
+    pub burstiness: f64,
+    /// Fraction of packets that are chaff (ground truth).
+    pub chaff_fraction: f64,
+}
+
+impl FlowSummary {
+    /// Computes the summary. Flows shorter than 2 packets produce a
+    /// zeroed summary.
+    pub fn of(flow: &Flow) -> Self {
+        let packets = flow.len();
+        if packets < 2 {
+            return FlowSummary {
+                packets,
+                duration: TimeDelta::ZERO,
+                mean_rate: 0.0,
+                ipd_p50: TimeDelta::ZERO,
+                ipd_p90: TimeDelta::ZERO,
+                ipd_p99: TimeDelta::ZERO,
+                burstiness: 0.0,
+                chaff_fraction: 0.0,
+            };
+        }
+        let mut ipds: Vec<TimeDelta> = flow.ipds().collect();
+        ipds.sort_unstable();
+        let q = |p: f64| ipds[((ipds.len() - 1) as f64 * p).round() as usize];
+
+        // Peak 1-second window occupancy via a sliding two-pointer scan.
+        let mut peak = 1usize;
+        let mut lo = 0usize;
+        for hi in 0..packets {
+            while flow.timestamp(hi) - flow.timestamp(lo) > TimeDelta::from_secs(1) {
+                lo += 1;
+            }
+            peak = peak.max(hi - lo + 1);
+        }
+        let mean_rate = flow.mean_rate();
+        FlowSummary {
+            packets,
+            duration: flow.duration(),
+            mean_rate,
+            ipd_p50: q(0.5),
+            ipd_p90: q(0.9),
+            ipd_p99: q(0.99),
+            burstiness: if mean_rate > 0.0 {
+                peak as f64 / mean_rate
+            } else {
+                0.0
+            },
+            chaff_fraction: flow.chaff_count() as f64 / packets as f64,
+        }
+    }
+}
+
+impl fmt::Display for FlowSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts over {:.0}s ({:.2}/s, ipd p50/p90/p99 {:.2}/{:.2}/{:.2}s, burstiness {:.1}, {:.0}% chaff)",
+            self.packets,
+            self.duration.as_secs_f64(),
+            self.mean_rate,
+            self.ipd_p50.as_secs_f64(),
+            self.ipd_p90.as_secs_f64(),
+            self.ipd_p99.as_secs_f64(),
+            self.burstiness,
+            self.chaff_fraction * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractiveProfile, Seed, SessionGenerator};
+    use stepstone_flow::{Packet, Timestamp};
+
+    #[test]
+    fn short_flows_are_zeroed() {
+        let s = FlowSummary::of(&Flow::new());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.mean_rate, 0.0);
+        let one = Flow::from_timestamps([Timestamp::ZERO]).unwrap();
+        assert_eq!(FlowSummary::of(&one).packets, 1);
+    }
+
+    #[test]
+    fn regular_flow_has_unit_burstiness() {
+        let flow = Flow::from_timestamps((0..100).map(Timestamp::from_secs)).unwrap();
+        let s = FlowSummary::of(&flow);
+        assert_eq!(s.mean_rate, 1.0);
+        assert_eq!(s.ipd_p50, TimeDelta::from_secs(1));
+        // 2 packets fit in a closed 1-second window at 1 pkt/s.
+        assert!(s.burstiness <= 2.0 + 1e-9, "{}", s.burstiness);
+        assert_eq!(s.chaff_fraction, 0.0);
+    }
+
+    #[test]
+    fn interactive_flow_is_heavy_tailed_and_bursty() {
+        let flow = SessionGenerator::new(InteractiveProfile::telnet()).generate(
+            2000,
+            Timestamp::ZERO,
+            &mut Seed::new(2).rng(0),
+        );
+        let s = FlowSummary::of(&flow);
+        assert!(s.ipd_p99 > s.ipd_p50 * 4, "{s}");
+        assert!(s.burstiness > 2.0, "{s}");
+    }
+
+    #[test]
+    fn chaff_fraction_counts_ground_truth() {
+        let flow = Flow::from_packets([
+            Packet::new(Timestamp::ZERO, 64),
+            Packet::chaff(Timestamp::from_secs(1), 48),
+        ])
+        .unwrap();
+        assert_eq!(FlowSummary::of(&flow).chaff_fraction, 0.5);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let flow = Flow::from_timestamps((0..10).map(Timestamp::from_secs)).unwrap();
+        let shown = FlowSummary::of(&flow).to_string();
+        assert_eq!(shown.lines().count(), 1);
+        assert!(shown.contains("10 pkts"), "{shown}");
+    }
+}

@@ -1,0 +1,458 @@
+//! Trace persistence: a human-readable text format and a compact binary
+//! format.
+//!
+//! Text format (one packet per line, `#` comments ignored):
+//!
+//! ```text
+//! # stepstone-trace v1
+//! 0 64 p0
+//! 152000 64 p1
+//! 160500 48 c
+//! ```
+//!
+//! Columns are: timestamp in microseconds, size in bytes, provenance
+//! (`p<upstream index>` or `c` for chaff).
+//!
+//! The binary format is `STPT` + version byte + little-endian records;
+//! it exists so large corpora round-trip quickly in benches.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use bytes::{Buf, BufMut};
+use stepstone_flow::{Flow, FlowError, Packet, Provenance, Timestamp};
+
+/// Magic bytes of the binary trace format.
+const MAGIC: &[u8; 4] = b"STPT";
+/// Current binary format version.
+const VERSION: u8 = 1;
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line in the text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The binary header was not recognized.
+    BadHeader,
+    /// The binary payload was truncated.
+    Truncated,
+    /// The decoded packets violate the flow invariant.
+    Flow(FlowError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace line {line} is malformed: {reason}")
+            }
+            TraceError::BadHeader => write!(f, "not a stepstone binary trace"),
+            TraceError::Truncated => write!(f, "binary trace ends mid-record"),
+            TraceError::Flow(e) => write!(f, "decoded trace is not a valid flow: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<FlowError> for TraceError {
+    fn from(e: FlowError) -> Self {
+        TraceError::Flow(e)
+    }
+}
+
+/// Writes a flow in the text format.
+///
+/// A `&mut W` can be passed wherever a `W: Write` is expected.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_text<W: Write>(mut writer: W, flow: &Flow) -> Result<(), TraceError> {
+    writeln!(writer, "# stepstone-trace v1")?;
+    for p in flow {
+        match p.provenance() {
+            Provenance::Payload(i) => writeln!(
+                writer,
+                "{} {} p{}",
+                p.timestamp().as_micros(),
+                p.size(),
+                i
+            )?,
+            Provenance::Chaff => {
+                writeln!(writer, "{} {} c", p.timestamp().as_micros(), p.size())?
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a flow in the text format.
+///
+/// A `&mut R` can be passed wherever an `R: Read` is expected.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] for malformed lines, [`TraceError::Io`]
+/// on read failure, and [`TraceError::Flow`] if timestamps decrease.
+pub fn read_text<R: Read>(reader: R) -> Result<Flow, TraceError> {
+    let reader = BufReader::new(reader);
+    let mut packets = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        fn parse<'a>(
+            field: Option<&'a str>,
+            what: &str,
+            lineno: usize,
+        ) -> Result<&'a str, TraceError> {
+            field.ok_or_else(|| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("missing {what}"),
+            })
+        }
+        let micros: i64 = parse(fields.next(), "timestamp", lineno)?
+            .parse()
+            .map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad timestamp: {e}"),
+            })?;
+        let size: u32 = parse(fields.next(), "size", lineno)?
+            .parse()
+            .map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad size: {e}"),
+            })?;
+        let tag = parse(fields.next(), "provenance", lineno)?;
+        let provenance = if tag == "c" {
+            Provenance::Chaff
+        } else if let Some(idx) = tag.strip_prefix('p') {
+            Provenance::Payload(idx.parse().map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad payload index: {e}"),
+            })?)
+        } else {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("unknown provenance tag {tag:?}"),
+            });
+        };
+        if fields.next().is_some() {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                reason: "trailing fields".to_string(),
+            });
+        }
+        packets.push(Packet::with_provenance(
+            Timestamp::from_micros(micros),
+            size,
+            provenance,
+        ));
+    }
+    Ok(Flow::from_packets(packets)?)
+}
+
+/// Writes a flow in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_binary<W: Write>(mut writer: W, flow: &Flow) -> Result<(), TraceError> {
+    let mut buf = Vec::with_capacity(16 + flow.len() * 17);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(flow.len() as u64);
+    for p in flow {
+        buf.put_i64_le(p.timestamp().as_micros());
+        buf.put_u32_le(p.size());
+        match p.provenance() {
+            Provenance::Payload(i) => {
+                buf.put_u8(1);
+                buf.put_u32_le(i);
+            }
+            Provenance::Chaff => {
+                buf.put_u8(0);
+                buf.put_u32_le(0);
+            }
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a flow in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadHeader`] for unrecognized headers,
+/// [`TraceError::Truncated`] for short payloads, [`TraceError::Io`] on
+/// read failure, and [`TraceError::Flow`] if timestamps decrease.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Flow, TraceError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = raw.as_slice();
+    if buf.remaining() < MAGIC.len() + 1 + 8 || &buf[..4] != MAGIC {
+        return Err(TraceError::BadHeader);
+    }
+    buf.advance(4);
+    if buf.get_u8() != VERSION {
+        return Err(TraceError::BadHeader);
+    }
+    let count = buf.get_u64_le() as usize;
+    let mut packets = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.remaining() < 17 {
+            return Err(TraceError::Truncated);
+        }
+        let micros = buf.get_i64_le();
+        let size = buf.get_u32_le();
+        let tag = buf.get_u8();
+        let idx = buf.get_u32_le();
+        let provenance = if tag == 1 {
+            Provenance::Payload(idx)
+        } else {
+            Provenance::Chaff
+        };
+        packets.push(Packet::with_provenance(
+            Timestamp::from_micros(micros),
+            size,
+            provenance,
+        ));
+    }
+    Ok(Flow::from_packets(packets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::TimeDelta;
+
+    fn sample_flow() -> Flow {
+        Flow::from_packets([
+            Packet::with_provenance(Timestamp::ZERO, 64, Provenance::Payload(0)),
+            Packet::chaff(Timestamp::from_millis(500), 48),
+            Packet::with_provenance(Timestamp::from_secs(2), 96, Provenance::Payload(1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let flow = sample_flow();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &flow).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, flow);
+    }
+
+    #[test]
+    fn text_format_is_as_documented() {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &sample_flow()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# stepstone-trace v1\n"));
+        assert!(text.contains("0 64 p0\n"), "{text}");
+        assert!(text.contains("500000 48 c\n"), "{text}");
+        assert!(text.contains("2000000 96 p1\n"), "{text}");
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blanks() {
+        let input = "# hello\n\n 0 64 p0 \n# bye\n1 64 p1\n";
+        let flow = read_text(input.as_bytes()).unwrap();
+        assert_eq!(flow.len(), 2);
+    }
+
+    #[test]
+    fn text_reader_reports_line_numbers() {
+        let input = "0 64 p0\nnot-a-number 64 p1\n";
+        match read_text(input.as_bytes()) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_reader_rejects_bad_tags_and_extra_fields() {
+        assert!(matches!(
+            read_text("0 64 x0\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_text("0 64 p0 extra\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_text("0 64\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn text_reader_rejects_decreasing_timestamps() {
+        assert!(matches!(
+            read_text("5 64 p0\n1 64 p1\n".as_bytes()),
+            Err(TraceError::Flow(_))
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let flow = sample_flow();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &flow).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, flow);
+    }
+
+    #[test]
+    fn binary_rejects_garbage_and_truncation() {
+        assert!(matches!(
+            read_binary(&b"nope"[..]),
+            Err(TraceError::BadHeader)
+        ));
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample_flow()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(TraceError::Truncated)
+        ));
+        // Wrong version byte.
+        let mut buf2 = Vec::new();
+        write_binary(&mut buf2, &sample_flow()).unwrap();
+        buf2[4] = 99;
+        assert!(matches!(
+            read_binary(buf2.as_slice()),
+            Err(TraceError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn empty_flow_roundtrips_in_both_formats() {
+        let empty = Flow::new();
+        let mut t = Vec::new();
+        write_text(&mut t, &empty).unwrap();
+        assert_eq!(read_text(t.as_slice()).unwrap(), empty);
+        let mut b = Vec::new();
+        write_binary(&mut b, &empty).unwrap();
+        assert_eq!(read_binary(b.as_slice()).unwrap(), empty);
+    }
+
+    #[test]
+    fn large_flow_roundtrips_binary() {
+        let flow = Flow::from_timestamps(
+            (0..10_000).map(|i| Timestamp::ZERO + TimeDelta::from_millis(i)),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &flow).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), flow);
+    }
+
+    #[test]
+    fn errors_display_reasonably() {
+        let e = TraceError::Parse {
+            line: 7,
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(TraceError::BadHeader.to_string().contains("binary trace"));
+    }
+}
+
+/// Saves a corpus as numbered binary traces (`trace-0000.sst`, …) in
+/// `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failure.
+pub fn save_corpus(dir: &std::path::Path, flows: &[Flow]) -> Result<(), TraceError> {
+    std::fs::create_dir_all(dir)?;
+    for (i, flow) in flows.iter().enumerate() {
+        let file = std::fs::File::create(dir.join(format!("trace-{i:04}.sst")))?;
+        write_binary(std::io::BufWriter::new(file), flow)?;
+    }
+    Ok(())
+}
+
+/// Loads a corpus saved by [`save_corpus`], in numeric order.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failure and the usual
+/// decode errors for corrupt traces.
+pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<Flow>, TraceError> {
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sst"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|p| read_binary(std::fs::File::open(p)?))
+        .collect()
+}
+
+#[cfg(test)]
+mod corpus_io_tests {
+    use super::*;
+    use crate::corpus;
+    use crate::Seed;
+
+    #[test]
+    fn corpus_roundtrips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("stepstone-corpus-{}", std::process::id()));
+        let flows = corpus::bell_labs_like(4, 50, Seed::new(1));
+        save_corpus(&dir, &flows).unwrap();
+        let back = load_corpus(&dir).unwrap();
+        assert_eq!(back, flows);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_skips_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("stepstone-corpus2-{}", std::process::id()));
+        let flows = corpus::bell_labs_like(2, 30, Seed::new(2));
+        save_corpus(&dir, &flows).unwrap();
+        std::fs::write(dir.join("README.txt"), "not a trace").unwrap();
+        assert_eq!(load_corpus(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_from_missing_directory_fails() {
+        assert!(matches!(
+            load_corpus(std::path::Path::new("/definitely/not/here")),
+            Err(TraceError::Io(_))
+        ));
+    }
+}

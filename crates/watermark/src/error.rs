@@ -1,0 +1,67 @@
+//! Watermarking errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while embedding or decoding watermarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WatermarkError {
+    /// The flow cannot host the required number of embedding indices.
+    FlowTooShort {
+        /// Packet indices the layout needs.
+        needed: usize,
+        /// Packets available.
+        available: usize,
+    },
+    /// The watermark length does not match the parameter bit count.
+    LengthMismatch {
+        /// Bits the parameters expect.
+        expected: usize,
+        /// Bits the watermark has.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatermarkError::FlowTooShort { needed, available } => write!(
+                f,
+                "flow has {available} packets but the layout needs {needed} embedding indices"
+            ),
+            WatermarkError::LengthMismatch { expected, actual } => write!(
+                f,
+                "watermark has {actual} bits but parameters expect {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for WatermarkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = WatermarkError::FlowTooShort {
+            needed: 384,
+            available: 100,
+        };
+        assert!(e.to_string().contains("384"));
+        assert!(e.to_string().contains("100"));
+        let e = WatermarkError::LengthMismatch {
+            expected: 24,
+            actual: 8,
+        };
+        assert!(e.to_string().contains("24"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<WatermarkError>();
+    }
+}

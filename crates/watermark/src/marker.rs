@@ -1,0 +1,351 @@
+//! Embedding and aligned (chaff-free) decoding.
+
+use stepstone_flow::{FifoChannel, Flow, TimeDelta};
+
+use crate::error::WatermarkError;
+use crate::key::WatermarkKey;
+use crate::layout::BitLayout;
+use crate::params::WatermarkParams;
+use crate::watermark::Watermark;
+
+/// The IPD watermark embedder/decoder for one `(key, params)` pair.
+///
+/// See the [crate docs](crate) for the scheme and an end-to-end example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpdWatermarker {
+    key: WatermarkKey,
+    params: WatermarkParams,
+}
+
+impl IpdWatermarker {
+    /// Creates a watermarker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is degenerate (see
+    /// [`WatermarkParams::validate`]).
+    pub fn new(key: WatermarkKey, params: WatermarkParams) -> Self {
+        params.validate();
+        IpdWatermarker { key, params }
+    }
+
+    /// The scheme parameters.
+    pub const fn params(&self) -> &WatermarkParams {
+        &self.params
+    }
+
+    /// The secret key.
+    pub const fn key(&self) -> WatermarkKey {
+        self.key
+    }
+
+    /// Derives the index-only embedding layout for a flow of `flow_len`
+    /// packets (no IPD-width preference; see
+    /// [`BitLayout::derive_for_flow`] for the content-aware variant the
+    /// embedder uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::FlowTooShort`] if the flow cannot host
+    /// the layout.
+    pub fn layout_for(&self, flow_len: usize) -> Result<BitLayout, WatermarkError> {
+        BitLayout::derive(self.key, &self.params, flow_len)
+    }
+
+    /// Derives the embedding layout for a concrete (unwatermarked)
+    /// flow, preferring tight pairs so the unwatermarked decode
+    /// statistic concentrates near zero (see
+    /// [`BitLayout::derive_for_flow`]). This is the layout
+    /// [`embed`](Self::embed) uses; the detector re-derives it from the
+    /// original flow it marked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::FlowTooShort`] if the flow cannot host
+    /// the layout.
+    pub fn layout_for_flow(&self, flow: &Flow) -> Result<BitLayout, WatermarkError> {
+        BitLayout::derive_for_flow(self.key, &self.params, flow)
+    }
+
+    /// Embeds `watermark` into `flow`: for each bit, the selected
+    /// group's IPDs are raised by `2a` (delaying each pair's second
+    /// packet — the raise-only realization of the paper's `±a`
+    /// adjustment; see the crate docs), applied through a FIFO so order
+    /// is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::LengthMismatch`] if the watermark has
+    /// the wrong number of bits and [`WatermarkError::FlowTooShort`] if
+    /// the flow cannot host the layout.
+    pub fn embed(&self, flow: &Flow, watermark: &Watermark) -> Result<Flow, WatermarkError> {
+        if watermark.len() != self.params.bits {
+            return Err(WatermarkError::LengthMismatch {
+                expected: self.params.bits,
+                actual: watermark.len(),
+            });
+        }
+        let layout = self.layout_for_flow(flow)?;
+        let mut delays = vec![TimeDelta::ZERO; flow.len()];
+        for (bit, pairs) in layout.iter() {
+            let embed_one = watermark.bit(bit);
+            for pair in pairs {
+                // Raise-only realization of the ±a scheme: embedding 1
+                // raises every group-1 IPD by 2a (delay the pair's
+                // second packet), embedding 0 raises every group-2 IPD.
+                // D shifts by ±2r·a exactly as in the symmetric
+                // formulation, but no IPD is ever pushed toward zero —
+                // keystroke pairs are often tighter than `a`, so
+                // symmetric decreases saturate and lose signal.
+                if pair.group1 == embed_one {
+                    delays[pair.second] = self.params.adjustment * 2;
+                }
+            }
+        }
+        Ok(FifoChannel::new().apply(flow, &delays))
+    }
+
+    /// The per-bit decode statistics `Σ (ipd¹ − ipd²)` of `flow`, read
+    /// at the given layout's positions (the basic scheme's
+    /// position-aligned decoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::FlowTooShort`] if `flow` has fewer
+    /// packets than the layout's largest index requires.
+    pub fn d_statistics(
+        &self,
+        flow: &Flow,
+        layout: &BitLayout,
+    ) -> Result<Vec<TimeDelta>, WatermarkError> {
+        if flow.len() <= layout.max_index() {
+            return Err(WatermarkError::FlowTooShort {
+                needed: layout.max_index() + 1,
+                available: flow.len(),
+            });
+        }
+        Ok(layout
+            .iter()
+            .map(|(_, pairs)| {
+                pairs
+                    .iter()
+                    .map(|p| {
+                        let ipd = flow.ipd(p.first, p.second);
+                        if p.group1 {
+                            ipd
+                        } else {
+                            -ipd
+                        }
+                    })
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Decodes a watermark from `flow` assuming packet `i` of the
+    /// upstream flow is packet `i` of `flow` — the basic scheme of
+    /// ref \[7\], which chaff defeats.
+    ///
+    /// Bit `b` decodes to 1 when `D_b > 0`.
+    ///
+    /// # Errors
+    ///
+    /// See [`d_statistics`](Self::d_statistics).
+    pub fn decode_aligned(
+        &self,
+        flow: &Flow,
+        layout: &BitLayout,
+    ) -> Result<Watermark, WatermarkError> {
+        Ok(self
+            .d_statistics(flow, layout)?
+            .into_iter()
+            .map(|d| d > TimeDelta::ZERO)
+            .collect())
+    }
+
+    /// Position-aligned detection: decodes and compares against
+    /// `original` with the parameter threshold.
+    ///
+    /// # Errors
+    ///
+    /// See [`d_statistics`](Self::d_statistics). Callers implementing
+    /// the basic-scheme *detector* typically map an error to "not
+    /// correlated".
+    pub fn detect_aligned(
+        &self,
+        flow: &Flow,
+        layout: &BitLayout,
+        original: &Watermark,
+    ) -> Result<bool, WatermarkError> {
+        let decoded = self.decode_aligned(flow, layout)?;
+        Ok(original.hamming_distance(&decoded) <= self.params.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+    use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+
+    fn interactive(n: usize, seed: u64) -> Flow {
+        SessionGenerator::new(InteractiveProfile::ssh()).generate(
+            n,
+            Timestamp::ZERO,
+            &mut Seed::new(seed).rng(0),
+        )
+    }
+
+    fn marker() -> IpdWatermarker {
+        IpdWatermarker::new(WatermarkKey::new(99), WatermarkParams::small())
+    }
+
+    #[test]
+    fn embed_then_decode_roundtrips_on_clean_flows() {
+        // FIFO drag between nearby pairs can spoil bits — the paper's
+        // "slight probability that a watermark bit cannot be correctly
+        // embedded". With r = 2 the empirical distribution over 50 seeds
+        // is {0: 60%, 1: 30%, 2: 10%}; require per-flow distance within
+        // the detection threshold and a low average.
+        let m = marker();
+        let mut total = 0u32;
+        for seed in 0..20 {
+            let flow = interactive(300, seed);
+            let w = Watermark::random(8, &mut WatermarkKey::new(seed).rng(1));
+            let marked = m.embed(&flow, &w).unwrap();
+            let layout = m.layout_for_flow(&flow).unwrap();
+            let decoded = m.decode_aligned(&marked, &layout).unwrap();
+            let dist = w.hamming_distance(&decoded);
+            assert!(dist <= m.params().threshold, "seed {seed}: distance {dist}");
+            total += dist;
+        }
+        assert!(total <= 20, "average embedding error too high: {total}/20 flows");
+    }
+
+    #[test]
+    fn paper_params_roundtrip_is_near_exact() {
+        // With r = 4 and 1000-packet flows the redundancy absorbs the
+        // FIFO drag almost completely.
+        let m = IpdWatermarker::new(WatermarkKey::new(7), WatermarkParams::paper());
+        let mut total = 0u32;
+        for seed in 0..5 {
+            let flow = interactive(1000, 50 + seed);
+            let w = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+            let marked = m.embed(&flow, &w).unwrap();
+            let layout = m.layout_for_flow(&flow).unwrap();
+            let decoded = m.decode_aligned(&marked, &layout).unwrap();
+            total += w.hamming_distance(&decoded);
+        }
+        assert!(total <= 5, "paper-parameter embedding too lossy: {total} bits over 5 flows");
+    }
+
+    #[test]
+    fn unwatermarked_flows_decode_to_noise() {
+        let m = marker();
+        let mut total = 0u32;
+        for seed in 100..110 {
+            let flow = interactive(300, seed);
+            let w = Watermark::random(8, &mut WatermarkKey::new(seed).rng(1));
+            let layout = m.layout_for_flow(&flow).unwrap();
+            let decoded = m.decode_aligned(&flow, &layout).unwrap();
+            total += w.hamming_distance(&decoded);
+        }
+        // Expect ~4 of 8 bits wrong on average; demand clearly > 1.
+        assert!(total > 15, "suspiciously good decode on noise: {total}");
+    }
+
+    #[test]
+    fn embedding_only_delays_packets() {
+        let m = marker();
+        let flow = interactive(300, 1);
+        let w = Watermark::random(8, &mut WatermarkKey::new(1).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        assert_eq!(marked.len(), flow.len());
+        let a = m.params().adjustment;
+        for i in 0..flow.len() {
+            let d = marked.timestamp(i) - flow.timestamp(i);
+            assert!(d >= TimeDelta::ZERO, "packet {i} sped up");
+            // FIFO with bounded holds delays every packet by at most the
+            // maximum hold, which is 2a in the raise-only realization.
+            assert!(d <= a * 2, "packet {i} delayed {d}");
+        }
+    }
+
+    #[test]
+    fn embedding_preserves_order_and_provenance() {
+        let m = marker();
+        let flow = interactive(200, 2);
+        let w = Watermark::random(8, &mut WatermarkKey::new(2).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        for (i, p) in marked.iter().enumerate() {
+            assert_eq!(p.provenance().upstream_index(), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_watermark_length() {
+        let m = marker();
+        let flow = interactive(300, 3);
+        let w = Watermark::random(9, &mut WatermarkKey::new(3).rng(1));
+        assert!(matches!(
+            m.embed(&flow, &w),
+            Err(WatermarkError::LengthMismatch { expected: 8, actual: 9 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_flows() {
+        let m = marker();
+        let flow = interactive(300, 4);
+        let w = Watermark::random(8, &mut WatermarkKey::new(4).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        let truncated = marked.subsequence(0..50).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        assert!(matches!(
+            m.decode_aligned(&truncated, &layout),
+            Err(WatermarkError::FlowTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn detect_aligned_accepts_marked_and_mostly_rejects_noise() {
+        let m = marker();
+        let flow = interactive(300, 5);
+        let w = Watermark::random(8, &mut WatermarkKey::new(5).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        assert!(m.detect_aligned(&marked, &layout, &w).unwrap());
+        // Unrelated flow of the same length.
+        let other = interactive(300, 999);
+        // With an 8-bit watermark and threshold 2 the false-positive
+        // probability is ~14%, so sample several.
+        let fps = (0..20)
+            .filter(|&s| {
+                let other = interactive(300, 1000 + s);
+                m.detect_aligned(&other, &layout, &w).unwrap_or(false)
+            })
+            .count();
+        assert!(fps <= 8, "{fps} of 20 noise flows matched");
+        let _ = other;
+    }
+
+    #[test]
+    fn d_statistics_have_expected_sign_scale() {
+        let m = marker();
+        let flow = interactive(400, 6);
+        let w = Watermark::from_bits(vec![true; 8]);
+        let marked = m.embed(&flow, &w).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        let ds = m.d_statistics(&marked, &layout).unwrap();
+        // Embedding 1 raises each D by ~2r·a (sum form).
+        let expected = m.params().adjustment * (2 * m.params().redundancy as i64);
+        let positive = ds.iter().filter(|&&d| d > TimeDelta::ZERO).count();
+        assert!(positive >= 7, "{ds:?}");
+        let mean: f64 =
+            ds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / ds.len() as f64;
+        assert!(
+            mean > expected.as_secs_f64() * 0.3,
+            "mean D {mean} vs expected {expected}"
+        );
+    }
+}

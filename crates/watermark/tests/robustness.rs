@@ -1,0 +1,128 @@
+//! Robustness of the basic IPD watermark: survives bounded timing
+//! perturbation, is destroyed by chaff (the paper's motivation).
+
+use stepstone_adversary::{ChaffInjector, ChaffModel, Transform, UniformPerturbation};
+use stepstone_flow::{Flow, TimeDelta, Timestamp};
+use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+
+fn interactive(n: usize, seed: u64) -> Flow {
+    SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        n,
+        Timestamp::ZERO,
+        &mut Seed::new(seed).rng(0),
+    )
+}
+
+fn paper_marker(key: u64) -> IpdWatermarker {
+    IpdWatermarker::new(WatermarkKey::new(key), WatermarkParams::paper())
+}
+
+#[test]
+fn watermark_survives_moderate_perturbation() {
+    let m = paper_marker(11);
+    let mut detected = 0;
+    let trials = 15;
+    for seed in 0..trials {
+        let flow = interactive(1000, seed);
+        let w = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        let perturbed = UniformPerturbation::new(TimeDelta::from_secs(4))
+            .apply_with(&marked, &mut Seed::new(seed).rng(7));
+        if m.detect_aligned(&perturbed, &layout, &w).unwrap() {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected >= trials - 1,
+        "only {detected}/{trials} detected under 4s perturbation"
+    );
+}
+
+#[test]
+fn watermark_mostly_survives_worst_case_perturbation() {
+    let m = paper_marker(12);
+    let mut detected = 0;
+    let trials = 15;
+    for seed in 0..trials {
+        let flow = interactive(1000, 100 + seed);
+        let w = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        let perturbed = UniformPerturbation::new(TimeDelta::from_secs(8))
+            .apply_with(&marked, &mut Seed::new(seed).rng(7));
+        if m.detect_aligned(&perturbed, &layout, &w).unwrap() {
+            detected += 1;
+        }
+    }
+    // The paper's basic scheme detects essentially everything without
+    // chaff; allow a little slack at the extreme grid point.
+    assert!(
+        detected >= trials - 3,
+        "only {detected}/{trials} detected under 8s perturbation"
+    );
+}
+
+#[test]
+fn chaff_destroys_aligned_decoding() {
+    // The paper's Figure 3 message: any meaningful chaff rate breaks the
+    // basic scheme's position-aligned decoder.
+    let m = paper_marker(13);
+    let mut detected = 0;
+    let trials = 15;
+    for seed in 0..trials {
+        let flow = interactive(1000, 200 + seed);
+        let w = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+        let marked = m.embed(&flow, &w).unwrap();
+        let layout = m.layout_for_flow(&flow).unwrap();
+        let chaffed = ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 })
+            .apply_with(&marked, &mut Seed::new(seed).rng(9));
+        assert!(chaffed.len() > marked.len(), "chaff was injected");
+        if m.detect_aligned(&chaffed, &layout, &w).unwrap_or(false) {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected <= 2,
+        "{detected}/{trials} still detected through chaff — aligned decode should collapse"
+    );
+}
+
+#[test]
+fn unrelated_flows_rarely_match() {
+    let m = paper_marker(14);
+    let flow = interactive(1000, 300);
+    let w = Watermark::random(24, &mut WatermarkKey::new(0).rng(1));
+    let layout = m.layout_for_flow(&flow).unwrap();
+    let mut false_positives = 0;
+    let trials = 40;
+    for seed in 0..trials {
+        let other = interactive(1000, 400 + seed);
+        if m.detect_aligned(&other, &layout, &w).unwrap_or(false) {
+            false_positives += 1;
+        }
+    }
+    // P(Binomial(24, 1/2) ≤ 7) ≈ 3.2%; with 40 trials expect ~1.
+    assert!(false_positives <= 5, "{false_positives}/{trials} false positives");
+}
+
+#[test]
+fn embedding_keeps_the_delay_budget() {
+    let m = paper_marker(15);
+    let flow = interactive(1000, 500);
+    let w = Watermark::random(24, &mut WatermarkKey::new(5).rng(1));
+    let marked = m.embed(&flow, &w).unwrap();
+    let budget = m.params().adjustment * 2;
+    let mut total = TimeDelta::ZERO;
+    for i in 0..flow.len() {
+        let d = marked.timestamp(i) - flow.timestamp(i);
+        assert!(d >= TimeDelta::ZERO && d <= budget);
+        total += d;
+    }
+    // Raise-only embedding holds one packet per pair; with tight pairs
+    // FIFO drag spreads the hold over burst neighbours, but the average
+    // added latency stays well under one adjustment.
+    let mean = total / flow.len() as i64;
+    assert!(mean < m.params().adjustment, "mean added delay {mean}");
+}

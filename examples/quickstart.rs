@@ -1,0 +1,58 @@
+//! Quickstart: watermark a flow, attack it, detect it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stepstone::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The attacker's interactive SSH session as seen on the first
+    //    hop (synthetic, deterministic).
+    let session = SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        1000,
+        Timestamp::ZERO,
+        &mut Seed::new(7).rng(0),
+    );
+    println!(
+        "session: {} packets over {:.0}s ({:.2} pkt/s)",
+        session.len(),
+        session.duration().as_secs_f64(),
+        session.mean_rate()
+    );
+
+    // 2. The defender embeds a secret 24-bit IPD watermark.
+    let marker = IpdWatermarker::new(WatermarkKey::new(0x5EC2E7), WatermarkParams::paper());
+    let watermark = Watermark::random(24, &mut WatermarkKey::new(1).rng(1));
+    let marked = marker.embed(&session, &watermark)?;
+    println!("watermark: {watermark}");
+
+    // 3. Downstream, the attacker perturbs timing by up to 7 seconds and
+    //    injects Poisson chaff at 3 packets/second.
+    let suspicious = AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(7)))
+        .then(ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 }))
+        .apply(&marked, Seed::new(99));
+    println!(
+        "suspicious flow: {} packets ({} chaff)",
+        suspicious.len(),
+        suspicious.chaff_count()
+    );
+
+    // 4. The basic watermark scheme (no matching) is destroyed by chaff…
+    let basic = BasicWatermarkDetector::new(marker, watermark.clone(), &session)?;
+    println!("basic WM scheme: {}", basic.correlate(&suspicious));
+
+    // 5. …but the Greedy+ best-watermark search still finds it.
+    for algorithm in [Algorithm::Greedy, Algorithm::GreedyPlus, Algorithm::optimal_paper()] {
+        let correlator = WatermarkCorrelator::new(
+            marker,
+            watermark.clone(),
+            TimeDelta::from_secs(7),
+            algorithm,
+        );
+        let outcome = correlator.prepare(&session, &marked)?.correlate(&suspicious);
+        println!("{algorithm:<12} → {outcome}");
+    }
+    Ok(())
+}

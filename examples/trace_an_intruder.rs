@@ -1,0 +1,70 @@
+//! Trace an intruder through a stepping-stone chain.
+//!
+//! Scenario: an attacker connects `origin → relay₁ → relay₂ → victim`.
+//! The defender watermarks the flow observed at the first hop; at the
+//! victim's network, many flows are visible and one of them — perturbed
+//! and padded with chaff by the attacker — is the relayed session. The
+//! correlator must pick it out.
+//!
+//! ```sh
+//! cargo run --release --example trace_an_intruder
+//! ```
+
+use stepstone::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = Seed::new(0xA77AC8);
+    let delta = TimeDelta::from_secs(5);
+
+    // The attacker's session, watermarked by the defender at hop 1.
+    let session = SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        1200,
+        Timestamp::ZERO,
+        &mut seed.child(0).rng(0),
+    );
+    let marker = IpdWatermarker::new(WatermarkKey::new(0xFEE1), WatermarkParams::paper());
+    let watermark = Watermark::random(24, &mut WatermarkKey::new(2).rng(1));
+    let marked = marker.embed(&session, &watermark)?;
+
+    // The marked flow crosses two stepping stones (simulated network).
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(35), TimeDelta::from_millis(20))
+        .hop(TimeDelta::from_millis(90), TimeDelta::from_millis(40))
+        .build();
+    let relayed = chain.simulate(&marked, seed.child(1)).last().clone();
+
+    // The attacker additionally perturbs and injects chaff at the exit.
+    let attacked = AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(4)))
+        .then(ChaffInjector::new(ChaffModel::Mimic { rate: 2.0 }))
+        .apply(&relayed, seed.child(2));
+
+    // The victim's network sees many interactive flows; flow #3 is ours.
+    let mut candidates: Vec<Flow> = (0..6)
+        .map(|i| {
+            SessionGenerator::new(InteractiveProfile::telnet()).generate(
+                1000,
+                Timestamp::ZERO,
+                &mut seed.child(100 + i).rng(0),
+            )
+        })
+        .collect();
+    candidates[3] = attacked;
+
+    // Correlate every candidate against the watermarked upstream flow.
+    let correlator =
+        WatermarkCorrelator::new(marker, watermark, delta, Algorithm::GreedyPlus);
+    let prepared = correlator.prepare(&session, &marked)?;
+    println!("candidate  verdict");
+    let mut hits = Vec::new();
+    for (i, flow) in candidates.iter().enumerate() {
+        let outcome = prepared.correlate(flow);
+        println!("#{i}         {outcome}");
+        if outcome.correlated {
+            hits.push(i);
+        }
+    }
+    assert_eq!(hits, vec![3], "expected to identify exactly candidate #3");
+    println!("→ the intruder's exit flow is candidate #3");
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full pipeline through the facade crate.
+
+use stepstone::prelude::*;
+
+fn marked_session(seed: u64) -> (Flow, Flow, IpdWatermarker, Watermark) {
+    let session = SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        1000,
+        Timestamp::ZERO,
+        &mut Seed::new(seed).rng(0),
+    );
+    let marker = IpdWatermarker::new(WatermarkKey::new(seed ^ 0xFACE), WatermarkParams::paper());
+    let watermark = Watermark::random(24, &mut WatermarkKey::new(seed).rng(1));
+    let marked = marker.embed(&session, &watermark).unwrap();
+    (session, marked, marker, watermark)
+}
+
+#[test]
+fn watermark_survives_a_simulated_chain_plus_adversary() {
+    let (session, marked, marker, watermark) = marked_session(1);
+    // Through a two-hop simulated chain…
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(40), TimeDelta::from_millis(25))
+        .hop(TimeDelta::from_millis(60), TimeDelta::from_millis(30))
+        .build();
+    let relayed = chain.simulate(&marked, Seed::new(2)).last().clone();
+    // …then a hostile exit node.
+    let attacked = AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(3)))
+        .then(ChaffInjector::new(ChaffModel::Poisson { rate: 2.0 }))
+        .apply(&relayed, Seed::new(3));
+
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(4), // covers chain + deliberate perturbation
+        Algorithm::GreedyPlus,
+    );
+    let outcome = correlator
+        .prepare(&session, &marked)
+        .unwrap()
+        .correlate(&attacked);
+    assert!(outcome.correlated, "{outcome}");
+}
+
+#[test]
+fn every_adversary_model_is_survivable_or_detected_failing() {
+    let (session, marked, marker, watermark) = marked_session(4);
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(4),
+        Algorithm::GreedyPlus,
+    );
+    let prepared = correlator.prepare(&session, &marked).unwrap();
+
+    // Every chaff model at a moderate rate.
+    for model in [
+        ChaffModel::Poisson { rate: 2.0 },
+        ChaffModel::Bursty { rate: 2.0, burst_len: 4 },
+        ChaffModel::Mimic { rate: 2.0 },
+    ] {
+        let attacked = AdversaryPipeline::new()
+            .then(UniformPerturbation::new(TimeDelta::from_secs(3)))
+            .then(ChaffInjector::new(model))
+            .apply(&marked, Seed::new(5));
+        let outcome = prepared.correlate(&attacked);
+        assert!(outcome.correlated, "{model:?}: {outcome}");
+    }
+}
+
+#[test]
+fn traces_roundtrip_through_the_io_formats() {
+    let (_, marked, _, _) = marked_session(6);
+    let attacked = AdversaryPipeline::new()
+        .then(ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 }))
+        .apply(&marked, Seed::new(7));
+    let mut text = Vec::new();
+    stepstone::traffic::io::write_text(&mut text, &attacked).unwrap();
+    assert_eq!(
+        stepstone::traffic::io::read_text(text.as_slice()).unwrap(),
+        attacked
+    );
+    let mut binary = Vec::new();
+    stepstone::traffic::io::write_binary(&mut binary, &attacked).unwrap();
+    assert_eq!(
+        stepstone::traffic::io::read_binary(binary.as_slice()).unwrap(),
+        attacked
+    );
+}
+
+#[test]
+fn corpus_flows_all_host_the_paper_watermark() {
+    for flow in corpus::bell_labs_like(8, 1000, Seed::new(8)) {
+        let marker = IpdWatermarker::new(WatermarkKey::new(9), WatermarkParams::paper());
+        let watermark = Watermark::random(24, &mut WatermarkKey::new(10).rng(1));
+        assert!(marker.embed(&flow, &watermark).is_ok());
+    }
+}
+
+#[test]
+fn loss_breaks_assumption_one_gracefully() {
+    let (session, marked, marker, watermark) = marked_session(11);
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(2),
+        Algorithm::GreedyPlus,
+    );
+    let prepared = correlator.prepare(&session, &marked).unwrap();
+    // No loss: detected.
+    let clean = AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(1)))
+        .apply(&marked, Seed::new(12));
+    assert!(prepared.correlate(&clean).correlated);
+    // Heavy loss: the flows genuinely stop being matchable one-to-one;
+    // the correlator must return a clean negative, not panic.
+    let lossy = AdversaryPipeline::new()
+        .then(PacketLoss::new(0.3))
+        .apply(&marked, Seed::new(13));
+    let outcome = prepared.correlate(&lossy);
+    assert!(!outcome.correlated, "{outcome}");
+}
+
+#[test]
+fn prelude_reexports_are_usable_together() {
+    // Compile-time check that the prelude covers the whole story; a few
+    // spot runtime checks to keep it honest.
+    let flow = Flow::from_timestamps((0..10).map(Timestamp::from_secs)).unwrap();
+    assert_eq!(flow.len(), 10);
+    let p = PoissonProcess::new(1.0);
+    assert_eq!(p.rate(), 1.0);
+    let r = Repacketizer::new(TimeDelta::from_millis(10));
+    assert_eq!(r.window(), TimeDelta::from_millis(10));
+    let d = PacketCountingDetector::new(3);
+    assert_eq!(d.bound(), 3);
+    let i = IpdCorrelationDetector::new(0.9);
+    assert_eq!(i.threshold(), 0.9);
+}
+
+#[test]
+fn watermark_survives_a_chaff_injecting_chain() {
+    // The in-line variant of the threat model: the stepping stones
+    // themselves generate cover traffic, instead of a post-hoc injector.
+    let (session, marked, marker, watermark) = marked_session(20);
+    let chain = SteppingStoneChain::builder()
+        .hop(TimeDelta::from_millis(50), TimeDelta::from_millis(30))
+        .with_chaff(2.0)
+        .hop(TimeDelta::from_millis(70), TimeDelta::from_millis(35))
+        .with_chaff(1.0)
+        .build();
+    let observed = chain.simulate(&marked, Seed::new(21)).last().clone();
+    assert!(observed.chaff_count() > 0);
+
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(1), // chain adds well under a second
+        Algorithm::GreedyPlus,
+    );
+    let outcome = correlator
+        .prepare(&session, &marked)
+        .unwrap()
+        .correlate(&observed);
+    assert!(outcome.correlated, "{outcome}");
+}
