@@ -90,11 +90,10 @@ impl ChaffInjector {
         };
         let start = first.timestamp();
         match self.model {
-            ChaffModel::Poisson { rate } => {
-                PoissonProcess::new(rate).arrivals(start, span, rng)
-            }
+            ChaffModel::Poisson { rate } => PoissonProcess::new(rate).arrivals(start, span, rng),
             ChaffModel::Bursty { rate, burst_len } => {
-                let starts = PoissonProcess::new(rate / burst_len as f64).arrivals(start, span, rng);
+                let starts =
+                    PoissonProcess::new(rate / burst_len as f64).arrivals(start, span, rng);
                 let gap = TimeDelta::from_millis(50);
                 let end = start + span;
                 let mut times: Vec<Timestamp> = starts
@@ -173,7 +172,10 @@ mod tests {
         let f = carrier(100);
         for model in [
             ChaffModel::Poisson { rate: 0.0 },
-            ChaffModel::Bursty { rate: 0.0, burst_len: 3 },
+            ChaffModel::Bursty {
+                rate: 0.0,
+                burst_len: 3,
+            },
             ChaffModel::Mimic { rate: 0.0 },
         ] {
             let out = ChaffInjector::new(model).apply_with(&f, &mut rng(1));
@@ -184,8 +186,7 @@ mod tests {
     #[test]
     fn payload_is_untouched() {
         let f = carrier(200);
-        let out = ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 })
-            .apply_with(&f, &mut rng(2));
+        let out = ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 }).apply_with(&f, &mut rng(2));
         let payload: Vec<Timestamp> = out
             .iter()
             .filter(|p| p.provenance().is_payload())
@@ -197,8 +198,7 @@ mod tests {
     #[test]
     fn poisson_rate_is_respected() {
         let f = carrier(1000); // 999s duration
-        let out = ChaffInjector::new(ChaffModel::Poisson { rate: 2.0 })
-            .apply_with(&f, &mut rng(3));
+        let out = ChaffInjector::new(ChaffModel::Poisson { rate: 2.0 }).apply_with(&f, &mut rng(3));
         let c = out.chaff_count();
         // 1998 expected, std ≈ 45.
         assert!((1750..2250).contains(&c), "chaff count {c}");
@@ -207,8 +207,11 @@ mod tests {
     #[test]
     fn bursty_rate_is_comparable_and_bursty() {
         let f = carrier(1000);
-        let out = ChaffInjector::new(ChaffModel::Bursty { rate: 2.0, burst_len: 5 })
-            .apply_with(&f, &mut rng(4));
+        let out = ChaffInjector::new(ChaffModel::Bursty {
+            rate: 2.0,
+            burst_len: 5,
+        })
+        .apply_with(&f, &mut rng(4));
         let c = out.chaff_count();
         assert!((1400..2400).contains(&c), "chaff count {c}");
     }
@@ -226,11 +229,17 @@ mod tests {
         let f = carrier(50);
         for model in [
             ChaffModel::Poisson { rate: 5.0 },
-            ChaffModel::Bursty { rate: 5.0, burst_len: 4 },
+            ChaffModel::Bursty {
+                rate: 5.0,
+                burst_len: 4,
+            },
             ChaffModel::Mimic { rate: 5.0 },
         ] {
             let out = ChaffInjector::new(model).apply_with(&f, &mut rng(6));
-            let (start, end) = (f.first().unwrap().timestamp(), f.last().unwrap().timestamp());
+            let (start, end) = (
+                f.first().unwrap().timestamp(),
+                f.last().unwrap().timestamp(),
+            );
             for p in out.iter().filter(|p| p.provenance().is_chaff()) {
                 assert!(p.timestamp() >= start && p.timestamp() < end, "{model:?}");
             }
@@ -249,7 +258,10 @@ mod tests {
     fn injection_is_deterministic() {
         let f = carrier(100);
         let inj = ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 });
-        assert_eq!(inj.apply_with(&f, &mut rng(8)), inj.apply_with(&f, &mut rng(8)));
+        assert_eq!(
+            inj.apply_with(&f, &mut rng(8)),
+            inj.apply_with(&f, &mut rng(8))
+        );
     }
 
     #[test]
@@ -261,6 +273,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "burst length")]
     fn rejects_zero_burst() {
-        let _ = ChaffInjector::new(ChaffModel::Bursty { rate: 1.0, burst_len: 0 });
+        let _ = ChaffInjector::new(ChaffModel::Bursty {
+            rate: 1.0,
+            burst_len: 0,
+        });
     }
 }

@@ -44,7 +44,10 @@ impl UniformPerturbation {
     ///
     /// Panics if `max` is negative.
     pub fn new(max: TimeDelta) -> Self {
-        assert!(!max.is_negative(), "perturbation bound must be non-negative");
+        assert!(
+            !max.is_negative(),
+            "perturbation bound must be non-negative"
+        );
         UniformPerturbation { max }
     }
 
@@ -176,7 +179,9 @@ mod tests {
         assert!(UniformPerturbation::new(TimeDelta::from_secs(7))
             .label()
             .contains("uniform-perturb"));
-        assert!(ConstantDelay::new(TimeDelta::ZERO).label().contains("constant"));
+        assert!(ConstantDelay::new(TimeDelta::ZERO)
+            .label()
+            .contains("constant"));
     }
 
     #[test]

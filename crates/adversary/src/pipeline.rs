@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn pipeline_is_deterministic() {
         let p = AdversaryPipeline::new().then(ConstantDelay::new(TimeDelta::from_secs(1)));
-        assert_eq!(p.apply(&flow(), Seed::new(7)), p.apply(&flow(), Seed::new(7)));
+        assert_eq!(
+            p.apply(&flow(), Seed::new(7)),
+            p.apply(&flow(), Seed::new(7))
+        );
     }
 
     #[test]

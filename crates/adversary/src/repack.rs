@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn zero_window_is_identity() {
         let f = flow(&[0, 1, 2]);
-        assert_eq!(Repacketizer::new(TimeDelta::ZERO).apply_with(&f, &mut rng()), f);
+        assert_eq!(
+            Repacketizer::new(TimeDelta::ZERO).apply_with(&f, &mut rng()),
+            f
+        );
     }
 
     #[test]

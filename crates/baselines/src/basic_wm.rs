@@ -159,15 +159,13 @@ mod tests {
     fn cost_is_constant_in_suspicious_length() {
         let (d, marked) = setup(4);
         let a = d.correlate(&marked).cost;
-        let longer = marked.merged_with(
-            &Flow::from_packets((0..500).map(|i| {
-                stepstone_flow::Packet::chaff(
-                    Timestamp::from_millis(i * 100 + 7),
-                    48,
-                )
-            }))
-            .unwrap(),
-        );
+        let longer =
+            marked.merged_with(
+                &Flow::from_packets((0..500).map(|i| {
+                    stepstone_flow::Packet::chaff(Timestamp::from_millis(i * 100 + 7), 48)
+                }))
+                .unwrap(),
+            );
         let b = d.correlate(&longer).cost;
         assert_eq!(a, b);
     }

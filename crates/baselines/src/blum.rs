@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn relayed_flow_stays_within_bound() {
         let up = interactive(500, 1);
-        let down = UniformPerturbation::new(TimeDelta::from_secs(2))
-            .apply_with(&up, &mut rng(1));
+        let down = UniformPerturbation::new(TimeDelta::from_secs(2)).apply_with(&up, &mut rng(1));
         // Interactive traffic is bursty: the in-flight count during a
         // keystroke burst tracks the burst rate (~7 pkt/s), not the mean
         // rate, so size the bound from the burst rate.
@@ -135,8 +134,8 @@ mod tests {
     #[test]
     fn chaff_blows_the_count_difference() {
         let up = interactive(500, 2);
-        let down = ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 })
-            .apply_with(&up, &mut rng(2));
+        let down =
+            ChaffInjector::new(ChaffModel::Poisson { rate: 3.0 }).apply_with(&up, &mut rng(2));
         let d = PacketCountingDetector::for_rate(up.mean_rate(), TimeDelta::from_secs(2));
         let out = d.correlate(&up, &down);
         assert!(!out.correlated, "{out:?}");

@@ -146,8 +146,7 @@ mod tests {
     #[test]
     fn mild_perturbation_survives() {
         let f = interactive(300, 2);
-        let g = UniformPerturbation::new(TimeDelta::from_millis(200))
-            .apply_with(&f, &mut rng(2));
+        let g = UniformPerturbation::new(TimeDelta::from_millis(200)).apply_with(&f, &mut rng(2));
         let out = IpdCorrelationDetector::new(0.8).correlate(&f, &g);
         assert!(out.correlated, "{out:?}");
     }
@@ -155,8 +154,7 @@ mod tests {
     #[test]
     fn chaff_destroys_the_alignment() {
         let f = interactive(300, 3);
-        let g = ChaffInjector::new(ChaffModel::Poisson { rate: 2.0 })
-            .apply_with(&f, &mut rng(3));
+        let g = ChaffInjector::new(ChaffModel::Poisson { rate: 2.0 }).apply_with(&f, &mut rng(3));
         let out = IpdCorrelationDetector::new(0.8).correlate(&f, &g);
         assert!(!out.correlated, "{out:?}");
     }

@@ -92,7 +92,8 @@ impl ZhangGuanDetector {
     /// Scores `suspicious` against `upstream`.
     pub fn correlate(&self, upstream: &Flow, suspicious: &Flow) -> DeviationOutcome {
         let mut meter = CostMeter::new();
-        let Some(mut sets) = Matcher::new(self.delta).matching_sets(upstream, suspicious, &mut meter)
+        let Some(mut sets) =
+            Matcher::new(self.delta).matching_sets(upstream, suspicious, &mut meter)
         else {
             return DeviationOutcome {
                 correlated: false,
@@ -274,8 +275,7 @@ mod tests {
     fn small_perturbation_is_detected() {
         let up = interactive(300, 2);
         let d = ZhangGuanDetector::paper(TimeDelta::from_secs(7));
-        let down =
-            UniformPerturbation::new(TimeDelta::from_secs(2)).apply_with(&up, &mut rng(2));
+        let down = UniformPerturbation::new(TimeDelta::from_secs(2)).apply_with(&up, &mut rng(2));
         let out = d.correlate(&up, &down);
         assert!(out.correlated, "{out:?}");
         assert!(out.deviation.unwrap() <= TimeDelta::from_secs(2));
@@ -341,8 +341,8 @@ mod tests {
     fn cost_scales_with_candidates() {
         let up = interactive(200, 8);
         let down = up.shifted(TimeDelta::from_millis(100));
-        let chaffed = ChaffInjector::new(ChaffModel::Poisson { rate: 5.0 })
-            .apply_with(&down, &mut rng(9));
+        let chaffed =
+            ChaffInjector::new(ChaffModel::Poisson { rate: 5.0 }).apply_with(&down, &mut rng(9));
         let d = ZhangGuanDetector::paper(TimeDelta::from_secs(7));
         let plain = d.correlate(&up, &down).cost;
         let noisy = d.correlate(&up, &chaffed).cost;

@@ -17,8 +17,7 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("correlated");
     for (name, alg) in algorithms {
-        let correlator =
-            WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
+        let correlator = WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
         let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
         group.bench_function(name, |b| b.iter(|| prepared.correlate(&fx.correlated)));
     }
@@ -35,8 +34,7 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("uncorrelated");
     for (name, alg) in algorithms {
-        let correlator =
-            WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
+        let correlator = WatermarkCorrelator::new(fx.marker, fx.watermark.clone(), fx.delta(), alg);
         let prepared = correlator.prepare(&fx.original, &fx.marked).unwrap();
         group.bench_function(name, |b| b.iter(|| prepared.correlate(&fx.uncorrelated)));
     }

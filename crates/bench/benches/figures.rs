@@ -11,14 +11,26 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("table1", |b| b.iter(|| figures::table1(&cfg)));
-    group.bench_function("fig3_detection_vs_chaff", |b| b.iter(|| figures::fig3(&cfg)));
-    group.bench_function("fig4_detection_vs_delay", |b| b.iter(|| figures::fig4(&cfg)));
+    group.bench_function("fig3_detection_vs_chaff", |b| {
+        b.iter(|| figures::fig3(&cfg))
+    });
+    group.bench_function("fig4_detection_vs_delay", |b| {
+        b.iter(|| figures::fig4(&cfg))
+    });
     group.bench_function("fig5_fpr_vs_chaff", |b| b.iter(|| figures::fig5(&cfg)));
     group.bench_function("fig6_fpr_vs_delay", |b| b.iter(|| figures::fig6(&cfg)));
-    group.bench_function("fig7_cost_vs_chaff_corr", |b| b.iter(|| figures::fig7(&cfg)));
-    group.bench_function("fig8_cost_vs_delay_corr", |b| b.iter(|| figures::fig8(&cfg)));
-    group.bench_function("fig9_cost_vs_chaff_uncorr", |b| b.iter(|| figures::fig9(&cfg)));
-    group.bench_function("fig10_cost_vs_delay_uncorr", |b| b.iter(|| figures::fig10(&cfg)));
+    group.bench_function("fig7_cost_vs_chaff_corr", |b| {
+        b.iter(|| figures::fig7(&cfg))
+    });
+    group.bench_function("fig8_cost_vs_delay_corr", |b| {
+        b.iter(|| figures::fig8(&cfg))
+    });
+    group.bench_function("fig9_cost_vs_chaff_uncorr", |b| {
+        b.iter(|| figures::fig9(&cfg))
+    });
+    group.bench_function("fig10_cost_vs_delay_uncorr", |b| {
+        b.iter(|| figures::fig10(&cfg))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("sections");

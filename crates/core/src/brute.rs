@@ -34,7 +34,15 @@ pub(crate) fn run_brute_force(
     let base_state: BitState = decode_bits(plan, &base_sel, suspicious, meter);
     let free = vec![true; plan.len()];
     exhaustive_search(
-        plan, sets, suspicious, &base_sel, &base_state, &free, wanted, threshold, cost_bound,
+        plan,
+        sets,
+        suspicious,
+        &base_sel,
+        &base_state,
+        &free,
+        wanted,
+        threshold,
+        cost_bound,
         meter,
     )
 }

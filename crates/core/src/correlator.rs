@@ -123,6 +123,33 @@ impl WatermarkCorrelator {
         original: &Flow,
         marked: &'a Flow,
     ) -> Result<PreparedCorrelator<'a>, WatermarkError> {
+        let plan = self.plan_for(original, marked)?;
+        Ok(PreparedCorrelator {
+            cfg: self,
+            upstream: marked,
+            plan,
+        })
+    }
+
+    /// Like [`prepare`](Self::prepare), but produces a self-contained
+    /// correlator that owns its configuration, upstream flow and
+    /// embedding plan. A [`BoundCorrelator`] is `Send + Sync`, so it can
+    /// be shared across worker threads (e.g. by `stepstone-monitor`'s
+    /// shard pool) without tying the workers to the caller's lifetimes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`prepare`](Self::prepare).
+    pub fn bind(&self, original: &Flow, marked: &Flow) -> Result<BoundCorrelator, WatermarkError> {
+        let plan = self.plan_for(original, marked)?;
+        Ok(BoundCorrelator {
+            cfg: self.clone(),
+            upstream: marked.clone(),
+            plan,
+        })
+    }
+
+    fn plan_for(&self, original: &Flow, marked: &Flow) -> Result<EndpointPlan, WatermarkError> {
         if original.len() != marked.len() {
             return Err(WatermarkError::LengthMismatch {
                 expected: original.len(),
@@ -130,12 +157,7 @@ impl WatermarkCorrelator {
             });
         }
         let layout = self.marker.layout_for_flow(original)?;
-        let plan = EndpointPlan::build(&layout, &self.watermark);
-        Ok(PreparedCorrelator {
-            cfg: self,
-            upstream: marked,
-            plan,
-        })
+        Ok(EndpointPlan::build(&layout, &self.watermark))
     }
 }
 
@@ -161,6 +183,63 @@ impl PreparedCorrelator<'_> {
     /// decision, the best watermark's Hamming distance, and the cost in
     /// packet accesses.
     pub fn correlate(&self, suspicious: &Flow) -> Correlation {
+        Engine {
+            cfg: self.cfg,
+            upstream: self.upstream,
+            plan: &self.plan,
+        }
+        .correlate(suspicious)
+    }
+}
+
+/// An owned, thread-shareable correlator bound to one watermarked
+/// upstream flow.
+///
+/// Produced by [`WatermarkCorrelator::bind`]. Unlike
+/// [`PreparedCorrelator`] it borrows nothing, so it can be wrapped in an
+/// `Arc` and decoded against on any thread — the shape the online
+/// monitor's sharded worker pool needs.
+#[derive(Debug, Clone)]
+pub struct BoundCorrelator {
+    cfg: WatermarkCorrelator,
+    upstream: Flow,
+    plan: EndpointPlan,
+}
+
+impl BoundCorrelator {
+    /// The correlator configuration this instance was bound from.
+    pub fn config(&self) -> &WatermarkCorrelator {
+        &self.cfg
+    }
+
+    /// The upstream (watermarked) flow.
+    pub fn upstream(&self) -> &Flow {
+        &self.upstream
+    }
+
+    /// Decides whether `suspicious` is a downstream flow of the bound
+    /// upstream flow. Identical semantics (and identical costs) to
+    /// [`PreparedCorrelator::correlate`].
+    pub fn correlate(&self, suspicious: &Flow) -> Correlation {
+        Engine {
+            cfg: &self.cfg,
+            upstream: &self.upstream,
+            plan: &self.plan,
+        }
+        .correlate(suspicious)
+    }
+}
+
+/// The shared correlate implementation, borrowing whatever storage the
+/// public wrappers use.
+struct Engine<'a> {
+    cfg: &'a WatermarkCorrelator,
+    upstream: &'a Flow,
+    plan: &'a EndpointPlan,
+}
+
+impl Engine<'_> {
+    fn correlate(&self, suspicious: &Flow) -> Correlation {
         let cfg = self.cfg;
         let threshold = cfg.marker.params().threshold;
         let wanted = &cfg.watermark;
@@ -184,7 +263,7 @@ impl PreparedCorrelator<'_> {
 
         match cfg.algorithm {
             Algorithm::Greedy => {
-                let (_, state) = run_greedy(&self.plan, &sets, suspicious, &mut meter);
+                let (_, state) = run_greedy(self.plan, &sets, suspicious, &mut meter);
                 let hamming = state.hamming(wanted);
                 Correlation {
                     correlated: hamming <= threshold,
@@ -207,7 +286,7 @@ impl PreparedCorrelator<'_> {
                 let mut hamming = state.hamming(wanted);
                 if hamming > threshold {
                     improve(
-                        &self.plan, &sets, suspicious, &mut sel, &mut state, wanted, threshold,
+                        self.plan, &sets, suspicious, &mut sel, &mut state, wanted, threshold,
                         &fixable, &mut meter, None,
                     );
                     hamming = state.hamming(wanted);
@@ -241,9 +320,9 @@ impl PreparedCorrelator<'_> {
                         completed: true,
                     };
                 }
-                let free = free_mask_for(&self.plan, &state, wanted, &fixable);
+                let free = free_mask_for(self.plan, &state, wanted, &fixable);
                 let r = exhaustive_search(
-                    &self.plan, &sets, suspicious, &sel, &state, &free, wanted, threshold,
+                    self.plan, &sets, suspicious, &sel, &state, &free, wanted, threshold,
                     cost_bound, &mut meter,
                 );
                 let hamming = r.state.hamming(wanted);
@@ -261,7 +340,7 @@ impl PreparedCorrelator<'_> {
                     return Correlation::unmatched(meter.count(), matching_cost);
                 }
                 let r = run_brute_force(
-                    &self.plan, &sets, suspicious, wanted, threshold, cost_bound, &mut meter,
+                    self.plan, &sets, suspicious, wanted, threshold, cost_bound, &mut meter,
                 );
                 let hamming = r.state.hamming(wanted);
                 Correlation {
@@ -302,7 +381,7 @@ impl PreparedCorrelator<'_> {
         }
         // Phase 2: Greedy early reject — bits Greedy cannot decode will
         // not match under any order-consistent selection either.
-        let (greedy_sel, greedy_state) = run_greedy(&self.plan, sets, suspicious, meter);
+        let (greedy_sel, greedy_state) = run_greedy(self.plan, sets, suspicious, meter);
         let greedy_hamming = greedy_state.hamming(wanted);
         if greedy_hamming > threshold {
             return Phases::EarlyReject(Correlation {
@@ -318,8 +397,8 @@ impl PreparedCorrelator<'_> {
             .map(|b| greedy_state.matches(b, wanted))
             .collect();
         // Phase 3: repair order conflicts.
-        let sel = repair_order(&self.plan, sets, &greedy_sel, meter);
-        let state = decode_selection(&self.plan, &sel, suspicious, meter);
+        let sel = repair_order(self.plan, sets, &greedy_sel, meter);
+        let state = decode_selection(self.plan, &sel, suspicious, meter);
         Phases::Ready((sel, state, fixable))
     }
 }

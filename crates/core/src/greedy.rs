@@ -58,7 +58,8 @@ mod tests {
     }
 
     fn plan(bits: Vec<bool>) -> (EndpointPlan, Watermark) {
-        let layout = BitLayout::derive(WatermarkKey::new(3), &WatermarkParams::small(), 200).unwrap();
+        let layout =
+            BitLayout::derive(WatermarkKey::new(3), &WatermarkParams::small(), 200).unwrap();
         let w = Watermark::from_bits(bits);
         (EndpointPlan::build(&layout, &w), w)
     }
@@ -84,7 +85,11 @@ mod tests {
         );
         let sel = greedy_selection(&p, &sets);
         for (e, s) in p.endpoints.iter().zip(&sel) {
-            let expect = if e.wants_late { e.up as u32 + 2 } else { e.up as u32 };
+            let expect = if e.wants_late {
+                e.up as u32 + 2
+            } else {
+                e.up as u32
+            };
             assert_eq!(*s, expect);
         }
     }
@@ -93,12 +98,14 @@ mod tests {
     fn greedy_decodes_wanted_bits_when_windows_are_wide() {
         // With wide windows the extremes dominate: every bit should
         // decode to its wanted value regardless of the base flow.
-        for bits in [vec![true; 8], vec![false; 8], vec![true, false, true, false, true, false, true, false]] {
+        for bits in [
+            vec![true; 8],
+            vec![false; 8],
+            vec![true, false, true, false, true, false, true, false],
+        ] {
             let (p, w) = plan(bits);
             let n = 200;
-            let wide: Vec<Vec<u32>> = (0..n as u32)
-                .map(|i| (i..i + 10).collect())
-                .collect();
+            let wide: Vec<Vec<u32>> = (0..n as u32).map(|i| (i..i + 10).collect()).collect();
             let sets = MatchingSets::from_sets(wide, n + 10);
             let flow = second_flow(n + 10);
             let mut meter = CostMeter::new();
@@ -125,7 +132,9 @@ mod tests {
         let (p, _) = plan(vec![true; 8]);
         let n = 200;
         let sets = MatchingSets::from_sets(
-            (0..n as u32).map(|i| vec![i, i + 1, i + 2, i + 3]).collect(),
+            (0..n as u32)
+                .map(|i| vec![i, i + 1, i + 2, i + 3])
+                .collect(),
             n + 3,
         );
         let sel = greedy_selection(&p, &sets);

@@ -57,7 +57,7 @@ pub(crate) fn improve(
     plan: &EndpointPlan,
     sets: &MatchingSets,
     suspicious: &Flow,
-    sel: &mut Vec<u32>,
+    sel: &mut [u32],
     state: &mut BitState,
     wanted: &Watermark,
     threshold: u32,
@@ -106,8 +106,18 @@ pub(crate) fn improve(
                 if next_idx >= set.len() {
                     break;
                 }
-                match try_shift(plan, sets, suspicious, sel, state, wanted, pos, set[next_idx], bit, meter)
-                {
+                match try_shift(
+                    plan,
+                    sets,
+                    suspicious,
+                    sel,
+                    state,
+                    wanted,
+                    pos,
+                    set[next_idx],
+                    bit,
+                    meter,
+                ) {
                     ShiftOutcome::Committed => {
                         if state.matches(bit, wanted) {
                             break;
@@ -145,8 +155,8 @@ fn try_shift(
     // Build the cascade plan.
     let mut moves: Vec<(usize, u32)> = vec![(pos, target)];
     let mut bound = target;
-    for later in pos + 1..plan.len() {
-        if sel[later] > bound {
+    for (later, &cur) in sel.iter().enumerate().skip(pos + 1) {
+        if cur > bound {
             break;
         }
         let set = sets.set(plan.endpoints[later].up);
@@ -177,9 +187,9 @@ fn try_shift(
         return ShiftOutcome::Rejected;
     }
     // No currently-matched bit may flip.
-    for b in 0..plan.bits {
+    for (b, &nd) in new_d.iter().enumerate().take(plan.bits) {
         if b != focus_bit && state.matches(b, wanted) {
-            let decoded = new_d[b] > 0;
+            let decoded = nd > 0;
             if decoded != wanted.bit(b) {
                 return ShiftOutcome::Rejected;
             }
@@ -267,18 +277,17 @@ mod tests {
 
     #[test]
     fn improve_never_breaks_matched_bits() {
-        let (plan, w, sets, flow) = setup(
-            vec![true, false, true, false, true, false, true, false],
-            3,
-        );
+        let (plan, w, sets, flow) =
+            setup(vec![true, false, true, false, true, false, true, false], 3);
         let greedy = greedy_selection(&plan, &sets);
         let mut meter = CostMeter::new();
         let greedy_state = decode_bits(&plan, &greedy, &flow, &mut meter);
-        let fixable: Vec<bool> = (0..plan.bits).map(|b| greedy_state.matches(b, &w)).collect();
+        let fixable: Vec<bool> = (0..plan.bits)
+            .map(|b| greedy_state.matches(b, &w))
+            .collect();
         let mut sel = repair_order(&plan, &sets, &greedy, &mut meter);
         let mut state = decode_bits(&plan, &sel, &flow, &mut meter);
-        let matched_before: Vec<usize> =
-            (0..plan.bits).filter(|&b| state.matches(b, &w)).collect();
+        let matched_before: Vec<usize> = (0..plan.bits).filter(|&b| state.matches(b, &w)).collect();
         improve(
             &plan, &sets, &flow, &mut sel, &mut state, &w, 0, &fixable, &mut meter, None,
         );
@@ -298,8 +307,7 @@ mod tests {
             let greedy = greedy_selection(&plan, &sets);
             let mut meter = CostMeter::new();
             let gstate = decode_bits(&plan, &greedy, &flow, &mut meter);
-            let fixable: Vec<bool> =
-                (0..plan.bits).map(|b| gstate.matches(b, &w)).collect();
+            let fixable: Vec<bool> = (0..plan.bits).map(|b| gstate.matches(b, &w)).collect();
             let mut sel = repair_order(&plan, &sets, &greedy, &mut meter);
             let mut state = decode_bits(&plan, &sel, &flow, &mut meter);
             let before = state.hamming(&w);

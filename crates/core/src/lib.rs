@@ -59,6 +59,5 @@ mod greedy_plus;
 mod optimal;
 mod outcome;
 
-pub use correlator::{Phase1Scope, PreparedCorrelator, WatermarkCorrelator};
+pub use correlator::{BoundCorrelator, Phase1Scope, PreparedCorrelator, WatermarkCorrelator};
 pub use outcome::{Algorithm, Correlation};
-

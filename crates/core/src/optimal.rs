@@ -172,8 +172,8 @@ pub(crate) fn free_mask_for(
     fixable: &[bool],
 ) -> Vec<bool> {
     let mut free = vec![false; plan.len()];
-    for bit in 0..plan.bits {
-        if fixable[bit] && !state.matches(bit, wanted) {
+    for (bit, &fx) in fixable.iter().enumerate().take(plan.bits) {
+        if fx && !state.matches(bit, wanted) {
             for &pos in &plan.of_bit[bit] {
                 free[pos] = true;
             }
@@ -212,11 +212,7 @@ mod tests {
         (plan, w, sets, flow)
     }
 
-    fn baseline(
-        plan: &EndpointPlan,
-        sets: &MatchingSets,
-        flow: &Flow,
-    ) -> (Vec<u32>, BitState) {
+    fn baseline(plan: &EndpointPlan, sets: &MatchingSets, flow: &Flow) -> (Vec<u32>, BitState) {
         let mut meter = CostMeter::new();
         let greedy = greedy_selection(plan, sets);
         let sel = repair_order(plan, sets, &greedy, &mut meter);

@@ -117,7 +117,11 @@ impl std::fmt::Display for Correlation {
             Some(h) => write!(
                 f,
                 "{} (hamming {h}, {} accesses{})",
-                if self.correlated { "correlated" } else { "not correlated" },
+                if self.correlated {
+                    "correlated"
+                } else {
+                    "not correlated"
+                },
                 self.cost,
                 if self.completed { "" } else { ", bound hit" }
             ),
@@ -143,7 +147,9 @@ mod tests {
     fn paper_bounds() {
         assert!(matches!(
             Algorithm::optimal_paper(),
-            Algorithm::Optimal { cost_bound: PAPER_COST_BOUND }
+            Algorithm::Optimal {
+                cost_bound: PAPER_COST_BOUND
+            }
         ));
     }
 

@@ -84,9 +84,13 @@ fn uncorrelated_flows_are_mostly_rejected() {
     for seed in 0..trials {
         let other = interactive(1000, 500 + seed);
         let suspicious = attack(&other, 7, 3.0, seed);
-        for (k, alg) in [Algorithm::GreedyPlus, Algorithm::optimal_paper(), Algorithm::Greedy]
-            .into_iter()
-            .enumerate()
+        for (k, alg) in [
+            Algorithm::GreedyPlus,
+            Algorithm::optimal_paper(),
+            Algorithm::Greedy,
+        ]
+        .into_iter()
+        .enumerate()
         {
             if correlate(&b, alg, 7, &suspicious).correlated {
                 fps[k] += 1;
@@ -134,7 +138,11 @@ fn chaff_free_perturbation_only_still_detects() {
     for seed in 0..3 {
         let b = bench(400 + seed, 1000);
         let suspicious = attack(&b.marked, 4, 0.0, seed);
-        for alg in [Algorithm::Greedy, Algorithm::GreedyPlus, Algorithm::optimal_paper()] {
+        for alg in [
+            Algorithm::Greedy,
+            Algorithm::GreedyPlus,
+            Algorithm::optimal_paper(),
+        ] {
             let out = correlate(&b, alg, 4, &suspicious);
             assert!(out.correlated, "seed {seed}, {alg}: {out}");
         }

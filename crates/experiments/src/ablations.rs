@@ -138,13 +138,9 @@ pub fn ablation_phase1(cfg: &ExperimentConfig) -> String {
             let mut cost_sum = 0u64;
             let mut cost_n = 0u64;
             for (i, up) in ds.flows().iter().enumerate() {
-                let correlator = WatermarkCorrelator::new(
-                    up.marker,
-                    up.watermark.clone(),
-                    cfg.fixed_delta,
-                    alg,
-                )
-                .with_phase1_scope(scope);
+                let correlator =
+                    WatermarkCorrelator::new(up.marker, up.watermark.clone(), cfg.fixed_delta, alg)
+                        .with_phase1_scope(scope);
                 let prepared = correlator
                     .prepare(&up.original, &up.marked)
                     .expect("prepared flows host the layout");
@@ -182,9 +178,7 @@ pub fn ablation_phase1(cfg: &ExperimentConfig) -> String {
 /// models at increasing rates — the Mimic model is an adversary the
 /// paper does not consider.
 pub fn ablation_chaff_models(cfg: &ExperimentConfig) -> Figure {
-    use stepstone_adversary::{
-        AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation,
-    };
+    use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
     let ds = Dataset::build(cfg);
     let mut fig = Figure::new(
         "ablation-chaff-models",
@@ -192,9 +186,13 @@ pub fn ablation_chaff_models(cfg: &ExperimentConfig) -> Figure {
         "chaff rate λc (pkt/s)",
         "detection rate",
     );
-    let models: [(&str, fn(f64) -> ChaffModel); 3] = [
+    type ChaffCtor = fn(f64) -> ChaffModel;
+    let models: [(&str, ChaffCtor); 3] = [
         ("poisson", |r| ChaffModel::Poisson { rate: r }),
-        ("bursty", |r| ChaffModel::Bursty { rate: r, burst_len: 5 }),
+        ("bursty", |r| ChaffModel::Bursty {
+            rate: r,
+            burst_len: 5,
+        }),
         ("mimic", |r| ChaffModel::Mimic { rate: r }),
     ];
     for (name, make) in models {
@@ -207,7 +205,10 @@ pub fn ablation_chaff_models(cfg: &ExperimentConfig) -> Figure {
                     .then(ChaffInjector::new(make(rate)))
                     .apply(
                         &up.marked,
-                        cfg.seed.child(0xC4AF).child(i as u64).child((rate * 100.0) as u64),
+                        cfg.seed
+                            .child(0xC4AF)
+                            .child(i as u64)
+                            .child((rate * 100.0) as u64),
                     );
                 let (correlated, _) =
                     Scheme::GreedyPlus.correlate(up, &suspicious, cfg.fixed_delta, cfg);
@@ -249,8 +250,16 @@ mod tests {
         }
         // The basic scheme's detection must clearly beat its false
         // positives at the paper's operating point.
-        let det = fig.series_by_label("wm det λc=0").unwrap().y_at(7.0).unwrap();
-        let fpr = fig.series_by_label("wm fpr λc=0").unwrap().y_at(7.0).unwrap();
+        let det = fig
+            .series_by_label("wm det λc=0")
+            .unwrap()
+            .y_at(7.0)
+            .unwrap();
+        let fpr = fig
+            .series_by_label("wm fpr λc=0")
+            .unwrap()
+            .y_at(7.0)
+            .unwrap();
         assert!(det > fpr, "det {det} <= fpr {fpr} at threshold 7");
     }
 

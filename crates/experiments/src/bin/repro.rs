@@ -4,15 +4,18 @@
 //! repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart] <target>...
 //! targets: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!          figures (3–10)  synthetic (§4.2)  summary (§4.3)
-//!          future-loss future-repack (§6)  all
+//!          future-loss future-repack (§6)  monitor (online engine)  all
 //! ```
+//!
+//! The `monitor` target additionally honours `--pairs N`, `--decoys N`,
+//! `--shards N` and `--packets N` to size the online replay.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use stepstone_experiments::{ablations, diagnostics, figures, ExperimentConfig, Scale};
+use stepstone_experiments::{ablations, diagnostics, figures, live, ExperimentConfig, Scale};
 use stepstone_stats::Figure;
 use stepstone_traffic::Seed;
 
@@ -28,14 +31,20 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics all";
+const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
+             [--pairs N] [--decoys N] [--shards N] [--packets N] <target>...
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor all";
 
 struct Options {
     cfg: ExperimentConfig,
     out: Option<PathBuf>,
     chart: bool,
     targets: Vec<String>,
+    /// `monitor` target overrides: upstreams, decoys, shards, packets.
+    pairs: Option<usize>,
+    decoys: Option<usize>,
+    shards: Option<usize>,
+    packets: Option<usize>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -44,6 +53,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut out = None;
     let mut chart = false;
     let mut targets = Vec::new();
+    let mut pairs = None;
+    let mut decoys = None;
+    let mut shards = None;
+    let mut packets = None;
+    let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next()
+            .ok_or(format!("{flag} needs a value"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad {flag}: {e}"))
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -63,6 +82,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
             }
             "--chart" => chart = true,
+            "--pairs" => pairs = Some(parse_count(&mut it, "--pairs")?),
+            "--decoys" => decoys = Some(parse_count(&mut it, "--decoys")?),
+            "--shards" => shards = Some(parse_count(&mut it, "--shards")?),
+            "--packets" => packets = Some(parse_count(&mut it, "--packets")?),
             "--help" | "-h" => return Err("help requested".into()),
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -80,6 +103,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         out,
         chart,
         targets,
+        pairs,
+        decoys,
+        shards,
+        packets,
     })
 }
 
@@ -120,6 +147,27 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
         "extension-hops" => emit(&figures::extension_hops(cfg), opts)?,
         "future-loss" => emit(&figures::future_loss(cfg), opts)?,
         "future-repack" => emit(&figures::future_repack(cfg), opts)?,
+        "monitor" => {
+            let mut scenario = live::LiveScenario::from_config(cfg);
+            if let Some(n) = opts.pairs {
+                scenario.upstreams = n;
+            }
+            if let Some(n) = opts.decoys {
+                scenario.decoys = n;
+            }
+            if let Some(n) = opts.shards {
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                scenario.shards = n;
+            }
+            if let Some(n) = opts.packets {
+                scenario.packets = n;
+            }
+            let report = live::replay(&scenario)
+                .map_err(|e| format!("monitor: cannot build the scenario corpus: {e}"))?;
+            println!("{report}");
+        }
         "diagnostics" => {
             print!("{}", diagnostics::hamming_histograms(cfg));
             print!("{}", diagnostics::matching_set_sizes(cfg));
@@ -145,6 +193,7 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
             dispatch("ablations", opts)?;
             dispatch("diagnostics", opts)?;
             dispatch("extension-hops", opts)?;
+            dispatch("monitor", opts)?;
         }
         other => return Err(format!("unknown target {other}")),
     }

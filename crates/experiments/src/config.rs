@@ -20,6 +20,8 @@ pub enum Scale {
 /// All experiment parameters (Table 1) plus dataset scaling.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
+    /// The scale this configuration was built for.
+    pub scale: Scale,
     /// Master seed: corpora, watermarks, keys, and attacks all derive
     /// from it.
     pub seed: Seed,
@@ -54,13 +56,7 @@ impl ExperimentConfig {
     /// everything the scale does not shrink.
     pub fn new(scale: Scale) -> Self {
         let (corpus, min_packets, fpr_pairs, deltas, chaff_rates) = match scale {
-            Scale::Quick => (
-                6,
-                400,
-                Some(12),
-                vec![1i64, 4, 7],
-                vec![0.0, 1.0, 3.0],
-            ),
+            Scale::Quick => (6, 400, Some(12), vec![1i64, 4, 7], vec![0.0, 1.0, 3.0]),
             Scale::Default => (
                 24,
                 1000,
@@ -77,6 +73,7 @@ impl ExperimentConfig {
             ),
         };
         ExperimentConfig {
+            scale,
             seed: Seed::new(0x5EED_0001),
             corpus,
             min_packets,

@@ -18,7 +18,11 @@ use crate::schemes::{Scheme, SCHEMES};
 
 /// Renders Table 1 (the experiment parameters actually in effect).
 pub fn table1(cfg: &ExperimentConfig) -> String {
-    let deltas: Vec<String> = cfg.deltas.iter().map(|d| format!("{:.0}", d.as_secs_f64())).collect();
+    let deltas: Vec<String> = cfg
+        .deltas
+        .iter()
+        .map(|d| format!("{:.0}", d.as_secs_f64()))
+        .collect();
     let chaff: Vec<String> = cfg.chaff_rates.iter().map(|c| format!("{c}")).collect();
     format!(
         "# Table 1 — experiment parameters\n\
@@ -42,7 +46,11 @@ pub fn table1(cfg: &ExperimentConfig) -> String {
         cfg.cost_bound,
         cfg.corpus,
         cfg.min_packets,
-        if cfg.synthetic { " (synthetic tcplib)" } else { "" },
+        if cfg.synthetic {
+            " (synthetic tcplib)"
+        } else {
+            ""
+        },
         cfg.fpr_pair_count(),
     )
 }
@@ -224,14 +232,54 @@ pub fn all(cfg: &ExperimentConfig) -> Vec<Figure> {
     let delta_det = delta_sweep_detection(cfg, &ds);
     let delta_fpr = delta_sweep_fpr(cfg, &ds);
     vec![
-        rate_figure("fig3", "Detection rate changing with λc, Δ = 7s", Axis::Chaff, &chaff_det),
-        rate_figure("fig4", "Detection rate changing with Δ, λc = 3", Axis::Delta, &delta_det),
-        rate_figure("fig5", "False positive rate changing with λc, Δ = 7s", Axis::Chaff, &chaff_fpr),
-        rate_figure("fig6", "False positive rate changing with Δ, λc = 3", Axis::Delta, &delta_fpr),
-        cost_figure("fig7", "Costs changing with λc, Δ = 7s, correlated flows", Axis::Chaff, &chaff_det),
-        cost_figure("fig8", "Costs changing with Δ, λc = 3, correlated flows", Axis::Delta, &delta_det),
-        cost_figure("fig9", "Costs changing with λc, Δ = 7s, uncorrelated flows", Axis::Chaff, &chaff_fpr),
-        cost_figure("fig10", "Costs changing with Δ, λc = 3, uncorrelated flows", Axis::Delta, &delta_fpr),
+        rate_figure(
+            "fig3",
+            "Detection rate changing with λc, Δ = 7s",
+            Axis::Chaff,
+            &chaff_det,
+        ),
+        rate_figure(
+            "fig4",
+            "Detection rate changing with Δ, λc = 3",
+            Axis::Delta,
+            &delta_det,
+        ),
+        rate_figure(
+            "fig5",
+            "False positive rate changing with λc, Δ = 7s",
+            Axis::Chaff,
+            &chaff_fpr,
+        ),
+        rate_figure(
+            "fig6",
+            "False positive rate changing with Δ, λc = 3",
+            Axis::Delta,
+            &delta_fpr,
+        ),
+        cost_figure(
+            "fig7",
+            "Costs changing with λc, Δ = 7s, correlated flows",
+            Axis::Chaff,
+            &chaff_det,
+        ),
+        cost_figure(
+            "fig8",
+            "Costs changing with Δ, λc = 3, correlated flows",
+            Axis::Delta,
+            &delta_det,
+        ),
+        cost_figure(
+            "fig9",
+            "Costs changing with λc, Δ = 7s, uncorrelated flows",
+            Axis::Chaff,
+            &chaff_fpr,
+        ),
+        cost_figure(
+            "fig10",
+            "Costs changing with Δ, λc = 3, uncorrelated flows",
+            Axis::Delta,
+            &delta_fpr,
+        ),
     ]
 }
 
@@ -314,16 +362,17 @@ fn future_sweep(
     for &x in xs {
         let mut rates = [stepstone_stats::RateEstimate::empty(); 5];
         for (i, up) in ds.flows().iter().enumerate() {
-            let mut pipeline = AdversaryPipeline::new()
-                .then(UniformPerturbation::new(delta));
+            let mut pipeline = AdversaryPipeline::new().then(UniformPerturbation::new(delta));
             // Dynamic stage goes between perturbation and chaff: the
             // relay drops/merges payload, then the attacker adds chaff.
             pipeline = PipelineExt::then_boxed(pipeline, make_stage(x));
-            let pipeline =
-                pipeline.then(ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 }));
+            let pipeline = pipeline.then(ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 }));
             let suspicious = pipeline.apply(
                 &up.marked,
-                cfg.seed.child(0xF07).child(i as u64).child((x * 10_000.0) as u64),
+                cfg.seed
+                    .child(0xF07)
+                    .child(i as u64)
+                    .child((x * 10_000.0) as u64),
             );
             for s in SCHEMES {
                 let (correlated, _) = s.correlate(up, &suspicious, delta, cfg);

@@ -24,7 +24,9 @@
 //! ([`figures::future_loss`], [`figures::future_repack`]) and the
 //! quality [`ablations`] (adjustment, redundancy, threshold ROC,
 //! phase-1 scope, chaff models); the bench crate covers the runtime
-//! axis of the same sweeps.
+//! axis of the same sweeps. The [`live`] module replays a synthetic
+//! corpus through the `stepstone-monitor` online engine (`repro
+//! monitor`), reporting throughput alongside detection quality.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ mod config;
 mod dataset;
 pub mod diagnostics;
 pub mod figures;
+pub mod live;
 mod runner;
 mod schemes;
 

@@ -81,12 +81,7 @@ impl Scheme {
                         cost_bound: cfg.cost_bound,
                     },
                 };
-                let c = WatermarkCorrelator::new(
-                    up.marker,
-                    up.watermark.clone(),
-                    delta,
-                    algorithm,
-                );
+                let c = WatermarkCorrelator::new(up.marker, up.watermark.clone(), delta, algorithm);
                 let prepared = c
                     .prepare(&up.original, &up.marked)
                     .expect("prepared flows host the layout");
@@ -127,7 +122,8 @@ mod tests {
         // Mild attack so even the fragile baselines have a chance.
         let suspicious = attacked(&up.marked, TimeDelta::from_millis(500), 0.0, Seed::new(4));
         for s in SCHEMES {
-            let (correlated, cost) = s.correlate(up, &suspicious, TimeDelta::from_millis(500), &cfg);
+            let (correlated, cost) =
+                s.correlate(up, &suspicious, TimeDelta::from_millis(500), &cfg);
             assert!(correlated, "{s} missed the near-identity pair");
             assert!(cost > 0, "{s} reported zero cost");
         }
@@ -139,7 +135,12 @@ mod tests {
         let ds = Dataset::build(&cfg);
         let up = &ds.flows()[0];
         let far = up.marked.shifted(TimeDelta::from_secs(1_000_000));
-        for s in [Scheme::Greedy, Scheme::GreedyPlus, Scheme::Optimal, Scheme::ZhangGuan] {
+        for s in [
+            Scheme::Greedy,
+            Scheme::GreedyPlus,
+            Scheme::Optimal,
+            Scheme::ZhangGuan,
+        ] {
             let (correlated, _) = s.correlate(up, &far, TimeDelta::from_secs(7), &cfg);
             assert!(!correlated, "{s} matched a disjoint flow");
         }

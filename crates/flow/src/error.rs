@@ -48,7 +48,10 @@ impl fmt::Display for FlowError {
                 "packet {index} at {offending} precedes previous packet at {previous}"
             ),
             FlowError::BadSubsequence { index } => {
-                write!(f, "subsequence index {index} out of bounds or not increasing")
+                write!(
+                    f,
+                    "subsequence index {index} out of bounds or not increasing"
+                )
             }
             FlowError::Empty => write!(f, "operation requires a non-empty flow"),
             FlowError::TooShort {
@@ -80,7 +83,9 @@ mod tests {
         assert!(!msg.ends_with('.'), "{msg}");
 
         assert!(FlowError::Empty.to_string().contains("non-empty"));
-        assert!(FlowError::BadSubsequence { index: 9 }.to_string().contains('9'));
+        assert!(FlowError::BadSubsequence { index: 9 }
+            .to_string()
+            .contains('9'));
         assert!(FlowError::TooShort {
             required: 4,
             available: 2

@@ -76,11 +76,7 @@ impl FifoChannel {
     /// (a forwarding element cannot send a packet before receiving it).
     #[must_use]
     pub fn apply(&self, flow: &Flow, delays: &[TimeDelta]) -> Flow {
-        assert_eq!(
-            delays.len(),
-            flow.len(),
-            "one delay per packet is required"
-        );
+        assert_eq!(delays.len(), flow.len(), "one delay per packet is required");
         self.apply_fn(flow, |i, _| delays[i])
     }
 
@@ -158,8 +154,8 @@ mod tests {
     #[test]
     fn min_gap_spaces_packets() {
         let f = flow(&[0.0, 0.0, 0.0]);
-        let g = FifoChannel::with_min_gap(TimeDelta::from_millis(10))
-            .apply(&f, &[TimeDelta::ZERO; 3]);
+        let g =
+            FifoChannel::with_min_gap(TimeDelta::from_millis(10)).apply(&f, &[TimeDelta::ZERO; 3]);
         assert_eq!(
             g.timestamps(),
             vec![

@@ -304,8 +304,7 @@ impl Iterator for Ipds<'_> {
 
     fn next(&mut self) -> Option<TimeDelta> {
         if self.index < self.packets.len() {
-            let d =
-                self.packets[self.index].timestamp() - self.packets[self.index - 1].timestamp();
+            let d = self.packets[self.index].timestamp() - self.packets[self.index - 1].timestamp();
             self.index += 1;
             Some(d)
         } else {
@@ -444,10 +443,10 @@ mod tests {
     #[test]
     fn rejects_out_of_order_timestamps() {
         let err = Flow::from_timestamps([ts(1.0), ts(0.5)]).unwrap_err();
-        match err {
-            FlowError::OutOfOrder { index, .. } => assert_eq!(index, 1),
-            other => panic!("unexpected error {other:?}"),
-        }
+        assert!(
+            matches!(err, FlowError::OutOfOrder { index: 1, .. }),
+            "unexpected error {err:?}"
+        );
     }
 
     #[test]

@@ -44,9 +44,11 @@ mod fifo;
 mod flow;
 mod packet;
 mod time;
+mod window;
 
 pub use error::FlowError;
 pub use fifo::FifoChannel;
 pub use flow::{Flow, FlowBuilder, Ipds};
 pub use packet::{Packet, Provenance};
 pub use time::{TimeDelta, Timestamp};
+pub use window::SlidingWindow;

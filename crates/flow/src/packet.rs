@@ -145,11 +145,7 @@ impl Packet {
 
 impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {}B {}",
-            self.timestamp, self.size, self.provenance
-        )
+        write!(f, "{} {}B {}", self.timestamp, self.size, self.provenance)
     }
 }
 

@@ -386,7 +386,9 @@ mod tests {
         assert!(Timestamp::from_micros(i64::MAX)
             .checked_add(TimeDelta::from_micros(1))
             .is_none());
-        assert!(TimeDelta::MAX.checked_add(TimeDelta::from_micros(1)).is_none());
+        assert!(TimeDelta::MAX
+            .checked_add(TimeDelta::from_micros(1))
+            .is_none());
         assert_eq!(
             Timestamp::from_micros(i64::MAX).saturating_add(TimeDelta::from_secs(1)),
             Timestamp::from_micros(i64::MAX)

@@ -71,10 +71,10 @@ proptest! {
         let flow = Flow::from_timestamps(ts).unwrap();
         let out = FifoChannel::new().apply(&flow, &ds);
         prop_assert_eq!(out.len(), flow.len());
-        for i in 0..flow.len() {
+        for (i, &d) in ds.iter().enumerate().take(flow.len()) {
             // Never released before arrival + own delay is violated only
             // downward; FIFO can add extra waiting but not remove it.
-            prop_assert!(out.timestamp(i) >= flow.timestamp(i) + ds[i]);
+            prop_assert!(out.timestamp(i) >= flow.timestamp(i) + d);
         }
         for w in out.packets().windows(2) {
             prop_assert!(w[0].timestamp() <= w[1].timestamp());

@@ -327,7 +327,7 @@ mod tests {
             .unwrap();
         // Pointer advances ≤ 2m, plus one charge per recorded candidate.
         let bound = 2 * 200 + s.total_candidates() as u64;
-        assert!(meter.count() <= bound as u64, "{} > {bound}", meter.count());
+        assert!(meter.count() <= bound, "{} > {bound}", meter.count());
         assert!(meter.count() >= s.total_candidates() as u64);
     }
 
@@ -378,8 +378,7 @@ mod tests {
     #[test]
     fn tighten_cascades_through_long_chains() {
         // Three packets all seeing {5,6,7}: forced to 5,6,7 respectively.
-        let mut s =
-            MatchingSets::from_sets(vec![vec![5, 6, 7], vec![5, 6, 7], vec![5, 6, 7]], 10);
+        let mut s = MatchingSets::from_sets(vec![vec![5, 6, 7], vec![5, 6, 7], vec![5, 6, 7]], 10);
         let mut meter = CostMeter::new();
         assert!(s.tighten(&mut meter));
         assert_eq!(s.set(0), &[5]);

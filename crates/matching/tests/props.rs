@@ -39,8 +39,8 @@ proptest! {
             .collect();
         match sets {
             Some(sets) => {
-                for i in 0..up.len() {
-                    prop_assert_eq!(sets.set(i), reference[i].as_slice(), "packet {}", i);
+                for (i, expected) in reference.iter().enumerate().take(up.len()) {
+                    prop_assert_eq!(sets.set(i), expected.as_slice(), "packet {}", i);
                 }
             }
             None => {

@@ -1,0 +1,102 @@
+//! Engine sizing and policy knobs.
+
+use stepstone_flow::TimeDelta;
+
+/// Sizing and policy for a [`Monitor`](crate::Monitor).
+///
+/// The defaults suit interactive-traffic monitoring at paper scale
+/// (flows of a few hundred packets): windows hold whole flows, decodes
+/// batch a modest number of new packets, and queues absorb short bursts
+/// without letting a slow decode stall ingest.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Most-recent packets retained per suspicious flow. Decodes only
+    /// ever see this window, so it bounds both memory and how far back
+    /// a correlation can reach.
+    pub window_capacity: usize,
+    /// New packets a pair's window must accrue before the engine
+    /// schedules another decode for it. `1` decodes as often as the
+    /// queue allows; large values approach batch (decode-once) mode.
+    pub decode_batch: usize,
+    /// Bounded depth of each shard's job queue. When a queue is full
+    /// the decode attempt is dropped (and counted) instead of blocking
+    /// ingest; the pair retries as more packets arrive.
+    pub queue_capacity: usize,
+    /// Decode worker threads; pairs are pinned to shards by pair-id
+    /// hash, so one pair's decodes never run concurrently.
+    pub shards: usize,
+    /// Evict a suspicious flow once it has been idle this long in
+    /// stream time. `None` keeps flows until [`finish`][fin].
+    ///
+    /// [fin]: crate::Monitor::finish
+    pub idle_timeout: Option<TimeDelta>,
+    /// Extra floor on window size before the first decode of a pair.
+    /// The engine always also waits until the window holds at least as
+    /// many packets as the pair's upstream flow (a complete matching is
+    /// impossible before that), so `0` means "auto".
+    pub min_window: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window_capacity: 4096,
+            decode_batch: 32,
+            queue_capacity: 64,
+            shards: 1,
+            idle_timeout: None,
+            min_window: 0,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Sets the per-flow window capacity.
+    #[must_use]
+    pub fn with_window_capacity(mut self, packets: usize) -> Self {
+        self.window_capacity = packets;
+        self
+    }
+
+    /// Sets the decode batch (new packets per scheduled decode).
+    #[must_use]
+    pub fn with_decode_batch(mut self, packets: usize) -> Self {
+        self.decode_batch = packets;
+        self
+    }
+
+    /// Sets the per-shard queue depth.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, jobs: usize) -> Self {
+        self.queue_capacity = jobs;
+        self
+    }
+
+    /// Sets the number of decode worker shards.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the idle-eviction timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: TimeDelta) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the explicit minimum window before first decode.
+    #[must_use]
+    pub fn with_min_window(mut self, packets: usize) -> Self {
+        self.min_window = packets;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.window_capacity > 0, "window_capacity must be positive");
+        assert!(self.decode_batch > 0, "decode_batch must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.shards > 0, "shards must be positive");
+    }
+}

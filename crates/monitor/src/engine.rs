@@ -1,0 +1,501 @@
+//! The online correlation engine: registry, shard pool, verdicts.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use stepstone_core::{BoundCorrelator, Correlation};
+use stepstone_flow::{Flow, Packet, SlidingWindow, Timestamp};
+
+use crate::config::MonitorConfig;
+use crate::ids::{FlowId, PairId, UpstreamId};
+use crate::stats::MonitorStats;
+use crate::verdict::Verdict;
+
+/// Ingests evict-sweep cadence: with an idle timeout configured, every
+/// this many accepted packets the engine sweeps for idle flows.
+const EVICT_SWEEP_EVERY: u64 = 1024;
+
+/// A decode request pinned to one shard.
+struct DecodeJob {
+    pair: PairId,
+    correlator: Arc<BoundCorrelator>,
+    window: Flow,
+    /// The flow's cumulative push count at snapshot time; carried back
+    /// in the completion so staleness is observable.
+    pushed: u64,
+}
+
+/// A finished decode, reported back to the control side.
+struct Completion {
+    pair: PairId,
+    outcome: Correlation,
+}
+
+/// Per-pair decode bookkeeping, owned by the control side.
+#[derive(Debug, Clone, Default)]
+struct PairState {
+    /// A decode job for this pair is queued or running.
+    in_flight: bool,
+    /// The flow's push count covered by the last scheduled decode.
+    decoded_through: u64,
+    /// Completed decodes.
+    decodes: u32,
+    /// Hamming distance of the most recent completed decode.
+    last_hamming: Option<u32>,
+    /// A `Correlated` verdict was emitted; the pair is done.
+    latched: bool,
+}
+
+/// One tracked suspicious flow.
+struct Suspect {
+    window: SlidingWindow,
+    pairs: BTreeMap<UpstreamId, PairState>,
+}
+
+/// The final report returned by [`Monitor::finish`].
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Verdicts not yet drained, including the terminal `Cleared`
+    /// verdicts emitted during the flush (pair order, deterministic).
+    pub verdicts: Vec<Verdict>,
+    /// Final counter snapshot.
+    pub stats: MonitorStats,
+}
+
+/// The online multi-flow correlation engine.
+///
+/// A `Monitor` owns a pool of decode worker threads ("shards"). The
+/// caller registers watermarked upstream flows once, then feeds a
+/// time-ordered stream of `(FlowId, Packet)` events through
+/// [`ingest`](Monitor::ingest); the engine windows each suspicious
+/// flow, schedules (upstream, suspicious) pair decodes onto the shard
+/// owning the pair, and surfaces results through
+/// [`drain_verdicts`](Monitor::drain_verdicts). Ingest never blocks:
+/// when a shard queue is full the decode attempt is dropped and
+/// counted, and the pair retries as more packets arrive.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Monitor {
+    config: MonitorConfig,
+    upstreams: BTreeMap<UpstreamId, Arc<BoundCorrelator>>,
+    suspects: HashMap<FlowId, Suspect>,
+    /// Pairs whose flow was evicted while a decode was in flight; kept
+    /// so the completion still resolves to a terminal verdict.
+    orphans: HashMap<PairId, PairState>,
+    job_txs: Vec<SyncSender<DecodeJob>>,
+    queue_depths: Vec<Arc<AtomicUsize>>,
+    decodes_run: Arc<AtomicU64>,
+    done_rx: Receiver<Completion>,
+    workers: Vec<JoinHandle<()>>,
+    verdicts: VecDeque<Verdict>,
+    clock: Option<Timestamp>,
+    packets_ingested: u64,
+    packets_rejected: u64,
+    flows_evicted: u64,
+    pairs_latched: u64,
+    decodes_scheduled: u64,
+    decodes_dropped: u64,
+    verdicts_emitted: u64,
+}
+
+impl Monitor {
+    /// Creates an engine and spawns its shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing field of `config` is zero.
+    pub fn new(config: MonitorConfig) -> Self {
+        config.validate();
+        let decodes_run = Arc::new(AtomicU64::new(0));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let mut job_txs = Vec::with_capacity(config.shards);
+        let mut queue_depths = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<DecodeJob>(config.queue_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let worker_done = done_tx.clone();
+            let worker_decodes = Arc::clone(&decodes_run);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("monitor-shard-{shard}"))
+                    .spawn(move || worker_loop(rx, worker_done, worker_depth, worker_decodes))
+                    .expect("spawn monitor shard worker"),
+            );
+            job_txs.push(tx);
+            queue_depths.push(depth);
+        }
+        drop(done_tx);
+        Monitor {
+            config,
+            upstreams: BTreeMap::new(),
+            suspects: HashMap::new(),
+            orphans: HashMap::new(),
+            job_txs,
+            queue_depths,
+            decodes_run,
+            done_rx,
+            workers,
+            verdicts: VecDeque::new(),
+            clock: None,
+            packets_ingested: 0,
+            packets_rejected: 0,
+            flows_evicted: 0,
+            pairs_latched: 0,
+            decodes_scheduled: 0,
+            decodes_dropped: 0,
+            verdicts_emitted: 0,
+        }
+    }
+
+    /// Registers a watermarked upstream flow. Every tracked suspicious
+    /// flow — current and future — becomes a candidate pair with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn register_upstream(&mut self, id: UpstreamId, correlator: BoundCorrelator) {
+        let previous = self.upstreams.insert(id, Arc::new(correlator));
+        assert!(previous.is_none(), "upstream {id} registered twice");
+    }
+
+    /// Feeds one packet of suspicious flow `flow` into the engine.
+    /// Returns `true` if the packet was accepted into the flow's
+    /// window; `false` if it was rejected as out-of-order (counted in
+    /// [`MonitorStats::packets_rejected`]).
+    ///
+    /// Never blocks: decode scheduling uses `try_send` and drops on a
+    /// full shard queue.
+    pub fn ingest(&mut self, flow: FlowId, packet: Packet) -> bool {
+        self.pump();
+        self.clock = Some(match self.clock {
+            Some(t) if t >= packet.timestamp() => t,
+            _ => packet.timestamp(),
+        });
+        let suspect = self.suspects.entry(flow).or_insert_with(|| Suspect {
+            window: SlidingWindow::new(self.config.window_capacity),
+            pairs: BTreeMap::new(),
+        });
+        if suspect.window.push(packet).is_err() {
+            self.packets_rejected += 1;
+            return false;
+        }
+        self.packets_ingested += 1;
+        self.schedule_pairs(flow);
+        if self.config.idle_timeout.is_some()
+            && self.packets_ingested.is_multiple_of(EVICT_SWEEP_EVERY)
+        {
+            if let Some(now) = self.clock {
+                self.evict_idle(now);
+            }
+        }
+        true
+    }
+
+    /// Moves verdicts emitted since the last drain to the caller,
+    /// oldest first. Non-blocking.
+    pub fn drain_verdicts(&mut self) -> Vec<Verdict> {
+        self.pump();
+        self.verdicts.drain(..).collect()
+    }
+
+    /// Evicts suspicious flows idle longer than the configured timeout
+    /// as of stream time `now`, emitting `Evicted` (and terminal
+    /// `Cleared`) verdicts. Returns the number of flows evicted.
+    /// No-op when no idle timeout is configured.
+    pub fn evict_idle(&mut self, now: Timestamp) -> usize {
+        let Some(timeout) = self.config.idle_timeout else {
+            return 0;
+        };
+        let expired: Vec<(FlowId, stepstone_flow::TimeDelta)> = self
+            .suspects
+            .iter()
+            .filter_map(|(&id, s)| {
+                let idle = s.window.idle_since(now)?;
+                (idle > timeout).then_some((id, idle))
+            })
+            .collect();
+        for &(id, idle) in &expired {
+            let suspect = self.suspects.remove(&id).expect("expired flow is tracked");
+            self.flows_evicted += 1;
+            for (upstream, state) in suspect.pairs {
+                let pair = PairId { upstream, flow: id };
+                if state.latched {
+                    continue;
+                }
+                if state.in_flight {
+                    // Let the in-flight decode resolve the pair.
+                    self.orphans.insert(pair, state);
+                } else if state.decodes > 0 {
+                    self.emit(Verdict::Cleared {
+                        pair,
+                        hamming: state.last_hamming,
+                        decodes: state.decodes,
+                    });
+                }
+            }
+            self.emit(Verdict::Evicted { flow: id, idle });
+        }
+        expired.len()
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            packets_ingested: self.packets_ingested,
+            packets_rejected: self.packets_rejected,
+            flows_active: self.suspects.len(),
+            flows_evicted: self.flows_evicted,
+            pairs_active: self
+                .suspects
+                .values()
+                .map(|s| s.pairs.values().filter(|p| !p.latched).count())
+                .sum(),
+            pairs_latched: self.pairs_latched,
+            decodes_scheduled: self.decodes_scheduled,
+            decodes_run: self.decodes_run.load(Ordering::Relaxed),
+            decodes_dropped: self.decodes_dropped,
+            queue_depths: self
+                .queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            verdicts_emitted: self.verdicts_emitted,
+        }
+    }
+
+    /// Flushes and shuts down: runs one final decode for every pair
+    /// with undecoded packets, joins the workers, resolves every
+    /// remaining pair to a terminal verdict, and returns the undrained
+    /// verdicts plus a final stats snapshot.
+    ///
+    /// Unlike [`ingest`](Monitor::ingest), the flush uses blocking
+    /// sends — at shutdown completeness beats latency.
+    pub fn finish(mut self) -> MonitorReport {
+        // Let in-flight decodes land first: a pair whose last decode
+        // covered only a prefix must still get its full-window flush
+        // decode below, and an in-flight completion may latch the pair
+        // and make that flush unnecessary.
+        loop {
+            self.pump();
+            let busy = self
+                .suspects
+                .values()
+                .any(|s| s.pairs.values().any(|p| p.in_flight));
+            if !busy && self.orphans.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Final decode for every non-latched pair that has data beyond
+        // its last decode (or was never decoded at all).
+        let flows: Vec<FlowId> = self.suspects.keys().copied().collect();
+        for flow in flows {
+            let suspect = &self.suspects[&flow];
+            let mut jobs = Vec::new();
+            for (&upstream, state) in &suspect.pairs {
+                let correlator = &self.upstreams[&upstream];
+                if state.latched
+                    || state.in_flight
+                    || suspect.window.len() < self.min_window_for(correlator)
+                    || state.decoded_through >= suspect.window.pushed()
+                {
+                    continue;
+                }
+                jobs.push((upstream, Arc::clone(correlator)));
+            }
+            for (upstream, correlator) in jobs {
+                let pair = PairId { upstream, flow };
+                let suspect = self.suspects.get_mut(&flow).expect("flow is tracked");
+                let job = DecodeJob {
+                    pair,
+                    correlator,
+                    window: suspect.window.snapshot(),
+                    pushed: suspect.window.pushed(),
+                };
+                let state = suspect.pairs.get_mut(&upstream).expect("pair exists");
+                state.in_flight = true;
+                state.decoded_through = job.pushed;
+                let shard = (pair.shard_hash() % self.job_txs.len() as u64) as usize;
+                self.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
+                self.decodes_scheduled += 1;
+                // Blocking send: the flush must not drop work. Drain
+                // completions opportunistically so a stalled queue and
+                // a full-to-bursting done channel cannot deadlock.
+                let mut job = Some(job);
+                while let Err(TrySendError::Full(j)) =
+                    self.job_txs[shard].try_send(job.take().expect("job present"))
+                {
+                    job = Some(j);
+                    self.pump();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Closing the job channels lets workers drain and exit.
+        self.job_txs.clear();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("monitor shard worker panicked");
+        }
+        self.pump();
+        assert!(self.orphans.is_empty(), "all in-flight decodes resolved");
+        // Terminal verdicts for everything still undecided, in
+        // deterministic (flow, upstream) order.
+        let mut remaining: Vec<(FlowId, UpstreamId, PairState)> = Vec::new();
+        for (&flow, suspect) in &self.suspects {
+            for (&upstream, state) in &suspect.pairs {
+                if !state.latched {
+                    remaining.push((flow, upstream, state.clone()));
+                }
+            }
+        }
+        remaining.sort_by_key(|&(flow, upstream, _)| (flow, upstream));
+        for (flow, upstream, state) in remaining {
+            self.emit(Verdict::Cleared {
+                pair: PairId { upstream, flow },
+                hamming: state.last_hamming,
+                decodes: state.decodes,
+            });
+        }
+        let stats = self.stats();
+        MonitorReport {
+            verdicts: self.verdicts.drain(..).collect(),
+            stats,
+        }
+    }
+
+    /// The window size a pair needs before decoding is worthwhile: a
+    /// complete matching needs at least as many suspicious packets as
+    /// upstream packets, clamped to what the window can ever hold.
+    fn min_window_for(&self, correlator: &BoundCorrelator) -> usize {
+        correlator
+            .upstream()
+            .len()
+            .min(self.config.window_capacity)
+            .max(self.config.min_window.min(self.config.window_capacity))
+            .max(1)
+    }
+
+    /// Schedules decodes for `flow`'s pairs that have accrued enough
+    /// new packets. Uses `try_send`; a full shard queue counts a drop
+    /// and the pair retries on a later packet.
+    fn schedule_pairs(&mut self, flow: FlowId) {
+        let upstream_ids: Vec<UpstreamId> = self.upstreams.keys().copied().collect();
+        for upstream in upstream_ids {
+            let correlator = Arc::clone(&self.upstreams[&upstream]);
+            let min_window = self.min_window_for(&correlator);
+            let suspect = self.suspects.get_mut(&flow).expect("flow is tracked");
+            let state = suspect.pairs.entry(upstream).or_default();
+            if state.latched
+                || state.in_flight
+                || suspect.window.len() < min_window
+                || suspect.window.pushed() - state.decoded_through < self.config.decode_batch as u64
+            {
+                continue;
+            }
+            let pair = PairId { upstream, flow };
+            let pushed = suspect.window.pushed();
+            let job = DecodeJob {
+                pair,
+                correlator,
+                window: suspect.window.snapshot(),
+                pushed,
+            };
+            let shard = (pair.shard_hash() % self.job_txs.len() as u64) as usize;
+            match self.job_txs[shard].try_send(job) {
+                Ok(()) => {
+                    self.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
+                    self.decodes_scheduled += 1;
+                    let state = self
+                        .suspects
+                        .get_mut(&flow)
+                        .expect("flow is tracked")
+                        .pairs
+                        .get_mut(&upstream)
+                        .expect("pair exists");
+                    state.in_flight = true;
+                    state.decoded_through = pushed;
+                }
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.decodes_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains worker completions without blocking, updating pair state
+    /// and emitting `Correlated` verdicts.
+    fn pump(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let Completion { pair, outcome } = done;
+            let state = match self.suspects.get_mut(&pair.flow) {
+                Some(s) => s.pairs.get_mut(&pair.upstream),
+                None => None,
+            };
+            if let Some(state) = state {
+                state.in_flight = false;
+                state.decodes += 1;
+                state.last_hamming = outcome.hamming;
+                if outcome.correlated && !state.latched {
+                    state.latched = true;
+                    self.pairs_latched += 1;
+                    self.emit(Verdict::Correlated {
+                        pair,
+                        hamming: outcome.hamming.unwrap_or(0),
+                        cost: outcome.cost + outcome.matching_cost,
+                    });
+                }
+            } else if let Some(mut state) = self.orphans.remove(&pair) {
+                // The flow was evicted mid-decode: this completion is
+                // the pair's terminal word.
+                state.decodes += 1;
+                if outcome.correlated {
+                    self.pairs_latched += 1;
+                    self.emit(Verdict::Correlated {
+                        pair,
+                        hamming: outcome.hamming.unwrap_or(0),
+                        cost: outcome.cost + outcome.matching_cost,
+                    });
+                } else {
+                    self.emit(Verdict::Cleared {
+                        pair,
+                        hamming: outcome.hamming,
+                        decodes: state.decodes,
+                    });
+                }
+            }
+        }
+    }
+
+    fn emit(&mut self, verdict: Verdict) {
+        self.verdicts_emitted += 1;
+        self.verdicts.push_back(verdict);
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<DecodeJob>,
+    done: Sender<Completion>,
+    depth: Arc<AtomicUsize>,
+    decodes_run: Arc<AtomicU64>,
+) {
+    while let Ok(job) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        let outcome = job.correlator.correlate(&job.window);
+        decodes_run.fetch_add(1, Ordering::Relaxed);
+        if done
+            .send(Completion {
+                pair: job.pair,
+                outcome,
+            })
+            .is_err()
+        {
+            // Control side is gone; no one to report to.
+            break;
+        }
+    }
+}

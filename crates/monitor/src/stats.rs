@@ -1,0 +1,66 @@
+//! Engine statistics snapshots.
+
+use std::fmt;
+
+/// A point-in-time snapshot of engine counters.
+///
+/// Produced by [`Monitor::stats`](crate::Monitor::stats) and included
+/// in the final [`MonitorReport`](crate::MonitorReport). Counters are
+/// cumulative over the engine's lifetime; gauges (`flows_active`,
+/// `pairs_active`, `queue_depths`) describe the moment of the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorStats {
+    /// Packets accepted into flow windows.
+    pub packets_ingested: u64,
+    /// Packets rejected (out-of-order within their flow).
+    pub packets_rejected: u64,
+    /// Suspicious flows currently tracked.
+    pub flows_active: usize,
+    /// Suspicious flows evicted for inactivity.
+    pub flows_evicted: u64,
+    /// Candidate pairs currently awaiting a verdict.
+    pub pairs_active: usize,
+    /// Pairs latched with a `Correlated` verdict.
+    pub pairs_latched: u64,
+    /// Decode jobs accepted onto a shard queue.
+    pub decodes_scheduled: u64,
+    /// Decode jobs completed by workers.
+    pub decodes_run: u64,
+    /// Decode attempts dropped because the target shard queue was full
+    /// (backpressure; the pair retries as more packets arrive).
+    pub decodes_dropped: u64,
+    /// Jobs sitting unstarted in each shard queue.
+    pub queue_depths: Vec<usize>,
+    /// Verdict events emitted so far.
+    pub verdicts_emitted: u64,
+}
+
+impl fmt::Display for MonitorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "packets: {} ingested, {} rejected",
+            self.packets_ingested, self.packets_rejected
+        )?;
+        writeln!(
+            f,
+            "flows:   {} active, {} evicted",
+            self.flows_active, self.flows_evicted
+        )?;
+        writeln!(
+            f,
+            "pairs:   {} active, {} latched",
+            self.pairs_active, self.pairs_latched
+        )?;
+        writeln!(
+            f,
+            "decodes: {} scheduled, {} run, {} dropped (backpressure)",
+            self.decodes_scheduled, self.decodes_run, self.decodes_dropped
+        )?;
+        write!(
+            f,
+            "queues:  {:?} deep; verdicts: {}",
+            self.queue_depths, self.verdicts_emitted
+        )
+    }
+}

@@ -1,0 +1,89 @@
+//! The live verdict stream.
+
+use std::fmt;
+
+use stepstone_flow::TimeDelta;
+
+use crate::ids::{FlowId, PairId};
+
+/// One event on the monitor's verdict stream.
+///
+/// `Correlated` is emitted live, as soon as a decode crosses the
+/// detection threshold; the pair is then *latched* and not decoded
+/// again. `Cleared` is a terminal negative: the pair's flow ended
+/// (eviction or [`finish`][fin]) without any decode correlating.
+/// `Evicted` reports a suspicious flow dropped for inactivity.
+///
+/// [fin]: crate::Monitor::finish
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A decode of this pair met the detection threshold: the
+    /// suspicious flow is a downstream flow of the watermarked
+    /// upstream.
+    Correlated {
+        /// The detected pair.
+        pair: PairId,
+        /// Best-watermark Hamming distance of the detecting decode.
+        hamming: u32,
+        /// Packet accesses spent by the detecting decode (matching
+        /// included).
+        cost: u64,
+    },
+    /// The pair's flow ended without any decode correlating.
+    Cleared {
+        /// The cleared pair.
+        pair: PairId,
+        /// Best-watermark Hamming distance of the last decode, if the
+        /// pair was ever decoded.
+        hamming: Option<u32>,
+        /// Decodes run for this pair.
+        decodes: u32,
+    },
+    /// A suspicious flow was dropped after exceeding the idle timeout.
+    Evicted {
+        /// The evicted flow.
+        flow: FlowId,
+        /// How long the flow had been idle in stream time.
+        idle: TimeDelta,
+    },
+}
+
+impl Verdict {
+    /// The pair the verdict is about, if it is a pair verdict.
+    pub fn pair(&self) -> Option<PairId> {
+        match *self {
+            Verdict::Correlated { pair, .. } | Verdict::Cleared { pair, .. } => Some(pair),
+            Verdict::Evicted { .. } => None,
+        }
+    }
+
+    /// `true` for `Correlated`.
+    pub fn is_correlated(&self) -> bool {
+        matches!(self, Verdict::Correlated { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Correlated {
+                pair,
+                hamming,
+                cost,
+            } => {
+                write!(f, "{pair} correlated (hamming {hamming}, cost {cost})")
+            }
+            Verdict::Cleared {
+                pair,
+                hamming,
+                decodes,
+            } => match hamming {
+                Some(h) => write!(f, "{pair} cleared (hamming {h}, {decodes} decodes)"),
+                None => write!(f, "{pair} cleared (never decoded)"),
+            },
+            Verdict::Evicted { flow, idle } => {
+                write!(f, "{flow} evicted (idle {idle})")
+            }
+        }
+    }
+}

@@ -145,7 +145,9 @@ mod tests {
         q.schedule(t, NodeId::new(10), pkt());
         q.schedule(t, NodeId::new(20), pkt());
         q.schedule(t, NodeId::new(30), pkt());
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.node.index()).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.node.index())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -223,7 +223,10 @@ mod tests {
         let mut r = rng();
         for _ in 0..200 {
             let (d, _) = w.receive(pkt(0), Timestamp::ZERO, &mut r).unwrap();
-            assert!(d >= TimeDelta::from_millis(50) && d <= TimeDelta::from_millis(70), "{d}");
+            assert!(
+                d >= TimeDelta::from_millis(50) && d <= TimeDelta::from_millis(70),
+                "{d}"
+            );
         }
         assert_eq!(w.max_delay(), TimeDelta::from_millis(70));
     }

@@ -153,7 +153,11 @@ fn chaff_injecting_relay_mixes_cover_traffic() {
     let first = obs.at_hop(0);
     let last = obs.at_hop(1);
     assert!(first.chaff_count() > 0, "no chaff at hop 0");
-    assert_eq!(first.chaff_count(), last.chaff_count(), "chaff lost in transit");
+    assert_eq!(
+        first.chaff_count(),
+        last.chaff_count(),
+        "chaff lost in transit"
+    );
     // Payload is fully preserved and ordered.
     assert_eq!(last.payload_indices().len(), origin.len());
     let payload: Vec<u32> = last
@@ -166,7 +170,10 @@ fn chaff_injecting_relay_mixes_cover_traffic() {
     // Rough rate check: ~2 pkt/s over the origin duration.
     let expected = 2.0 * origin.duration().as_secs_f64();
     let c = first.chaff_count() as f64;
-    assert!(c > expected * 0.6 && c < expected * 1.5, "chaff count {c} vs {expected}");
+    assert!(
+        c > expected * 0.6 && c < expected * 1.5,
+        "chaff count {c} vs {expected}"
+    );
 }
 
 #[test]

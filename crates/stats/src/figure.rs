@@ -147,7 +147,11 @@ impl Figure {
             out,
             "# y: {}{}",
             self.y_label,
-            if self.log_y { " (log scale in the paper)" } else { "" }
+            if self.log_y {
+                " (log scale in the paper)"
+            } else {
+                ""
+            }
         );
         let mut header = format!("{:>12}", self.x_label);
         for s in &self.series {
@@ -204,9 +208,21 @@ impl Figure {
                 // Render as a bar height into a single row via shade.
                 line[xi] = shade(glyph, level);
             }
-            let _ = writeln!(out, "{:>14} |{}|", truncate(s.label(), 14), line.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>14} |{}|",
+                truncate(s.label(), 14),
+                line.iter().collect::<String>()
+            );
         }
-        let _ = writeln!(out, "{:>14}  x: {} ∈ [{:.1}, {:.1}]", "", self.x_label, xs[0], xs[xs.len() - 1]);
+        let _ = writeln!(
+            out,
+            "{:>14}  x: {} ∈ [{:.1}, {:.1}]",
+            "",
+            self.x_label,
+            xs[0],
+            xs[xs.len() - 1]
+        );
         out
     }
 

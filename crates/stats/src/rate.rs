@@ -89,13 +89,7 @@ impl RateEstimate {
 
 impl fmt::Display for RateEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.3} ({}/{})",
-            self.rate(),
-            self.successes,
-            self.trials
-        )
+        write!(f, "{:.3} ({}/{})", self.rate(), self.successes, self.trials)
     }
 }
 

@@ -115,20 +115,19 @@ impl SessionGenerator {
     /// Generates a session of exactly `packets` packets starting at
     /// `start`. Every packet is payload with provenance equal to its own
     /// index (an *origin* flow).
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        packets: usize,
-        start: Timestamp,
-        rng: &mut R,
-    ) -> Flow {
+    pub fn generate<R: Rng + ?Sized>(&self, packets: usize, start: Timestamp, rng: &mut R) -> Flow {
         let p = &self.profile;
         let mut b = FlowBuilder::with_capacity(packets);
         let mut t = start;
         let mut in_burst = true;
         for i in 0..packets {
             let size = p.sizes[rng.gen_range(0..p.sizes.len())];
-            b.push(Packet::with_provenance(t, size, Provenance::Payload(i as u32)))
-                .expect("time only moves forward");
+            b.push(Packet::with_provenance(
+                t,
+                size,
+                Provenance::Payload(i as u32),
+            ))
+            .expect("time only moves forward");
             // Decide the gap to the next packet.
             let gap_secs = if in_burst && rng.gen_bool(p.burst_continue) {
                 p.keystroke_gap.sample(rng)

@@ -96,16 +96,10 @@ pub fn write_text<W: Write>(mut writer: W, flow: &Flow) -> Result<(), TraceError
     writeln!(writer, "# stepstone-trace v1")?;
     for p in flow {
         match p.provenance() {
-            Provenance::Payload(i) => writeln!(
-                writer,
-                "{} {} p{}",
-                p.timestamp().as_micros(),
-                p.size(),
-                i
-            )?,
-            Provenance::Chaff => {
-                writeln!(writer, "{} {} c", p.timestamp().as_micros(), p.size())?
+            Provenance::Payload(i) => {
+                writeln!(writer, "{} {} p{}", p.timestamp().as_micros(), p.size(), i)?
             }
+            Provenance::Chaff => writeln!(writer, "{} {} c", p.timestamp().as_micros(), p.size())?,
         }
     }
     Ok(())
@@ -145,12 +139,13 @@ pub fn read_text<R: Read>(reader: R) -> Result<Flow, TraceError> {
                 line: lineno + 1,
                 reason: format!("bad timestamp: {e}"),
             })?;
-        let size: u32 = parse(fields.next(), "size", lineno)?
-            .parse()
-            .map_err(|e| TraceError::Parse {
-                line: lineno + 1,
-                reason: format!("bad size: {e}"),
-            })?;
+        let size: u32 =
+            parse(fields.next(), "size", lineno)?
+                .parse()
+                .map_err(|e| TraceError::Parse {
+                    line: lineno + 1,
+                    reason: format!("bad size: {e}"),
+                })?;
         let tag = parse(fields.next(), "provenance", lineno)?;
         let provenance = if tag == "c" {
             Provenance::Chaff
@@ -294,10 +289,11 @@ mod tests {
     #[test]
     fn text_reader_reports_line_numbers() {
         let input = "0 64 p0\nnot-a-number 64 p1\n";
-        match read_text(input.as_bytes()) {
-            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
-            other => panic!("expected parse error, got {other:?}"),
-        }
+        let result = read_text(input.as_bytes());
+        assert!(
+            matches!(result, Err(TraceError::Parse { line: 2, .. })),
+            "expected parse error, got {result:?}"
+        );
     }
 
     #[test]
@@ -369,10 +365,9 @@ mod tests {
 
     #[test]
     fn large_flow_roundtrips_binary() {
-        let flow = Flow::from_timestamps(
-            (0..10_000).map(|i| Timestamp::ZERO + TimeDelta::from_millis(i)),
-        )
-        .unwrap();
+        let flow =
+            Flow::from_timestamps((0..10_000).map(|i| Timestamp::ZERO + TimeDelta::from_millis(i)))
+                .unwrap();
         let mut buf = Vec::new();
         write_binary(&mut buf, &flow).unwrap();
         assert_eq!(read_binary(buf.as_slice()).unwrap(), flow);

@@ -86,8 +86,16 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream_is_deterministic() {
-        let xs: Vec<u64> = Seed::new(1).rng(0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = Seed::new(1).rng(0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = Seed::new(1)
+            .rng(0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = Seed::new(1)
+            .rng(0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

@@ -93,18 +93,17 @@ impl TelnetModel {
 
     /// Generates a Telnet session of exactly `packets` packets starting
     /// at `start`, provenance-labelled as an origin flow.
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        packets: usize,
-        start: Timestamp,
-        rng: &mut R,
-    ) -> Flow {
+    pub fn generate<R: Rng + ?Sized>(&self, packets: usize, start: Timestamp, rng: &mut R) -> Flow {
         let mut b = FlowBuilder::with_capacity(packets);
         let mut t = start;
         for i in 0..packets {
             let size = self.pktsize.sample(rng).round().max(1.0) as u32;
-            b.push(Packet::with_provenance(t, size, Provenance::Payload(i as u32)))
-                .expect("time only moves forward");
+            b.push(Packet::with_provenance(
+                t,
+                size,
+                Provenance::Payload(i as u32),
+            ))
+            .expect("time only moves forward");
             t += TimeDelta::from_secs_f64(self.interarrival.sample(rng).max(0.001));
         }
         b.finish()

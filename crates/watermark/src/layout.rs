@@ -172,9 +172,8 @@ impl BitLayout {
         let per_bit = 2 * params.redundancy;
         let mut pairs_per_bit = Vec::with_capacity(params.bits);
         for chunk in picked.chunks_exact(per_bit) {
-            let mut group_flags: Vec<bool> = std::iter::repeat(true)
-                .take(params.redundancy)
-                .chain(std::iter::repeat(false).take(params.redundancy))
+            let mut group_flags: Vec<bool> = std::iter::repeat_n(true, params.redundancy)
+                .chain(std::iter::repeat_n(false, params.redundancy))
                 .collect();
             group_flags.shuffle(&mut rng);
             let pairs = chunk
@@ -308,7 +307,10 @@ mod tests {
     #[test]
     fn larger_offset_spreads_pairs() {
         let params = WatermarkParams::small();
-        let params = WatermarkParams { offset: 5, ..params };
+        let params = WatermarkParams {
+            offset: 5,
+            ..params
+        };
         let l = BitLayout::derive(WatermarkKey::new(6), &params, 400).unwrap();
         for (_, pairs) in l.iter() {
             for p in pairs {

@@ -219,7 +219,10 @@ mod tests {
             assert!(dist <= m.params().threshold, "seed {seed}: distance {dist}");
             total += dist;
         }
-        assert!(total <= 20, "average embedding error too high: {total}/20 flows");
+        assert!(
+            total <= 20,
+            "average embedding error too high: {total}/20 flows"
+        );
     }
 
     #[test]
@@ -236,7 +239,10 @@ mod tests {
             let decoded = m.decode_aligned(&marked, &layout).unwrap();
             total += w.hamming_distance(&decoded);
         }
-        assert!(total <= 5, "paper-parameter embedding too lossy: {total} bits over 5 flows");
+        assert!(
+            total <= 5,
+            "paper-parameter embedding too lossy: {total} bits over 5 flows"
+        );
     }
 
     #[test]
@@ -289,7 +295,10 @@ mod tests {
         let w = Watermark::random(9, &mut WatermarkKey::new(3).rng(1));
         assert!(matches!(
             m.embed(&flow, &w),
-            Err(WatermarkError::LengthMismatch { expected: 8, actual: 9 })
+            Err(WatermarkError::LengthMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
     }
 
@@ -341,8 +350,7 @@ mod tests {
         let expected = m.params().adjustment * (2 * m.params().redundancy as i64);
         let positive = ds.iter().filter(|&&d| d > TimeDelta::ZERO).count();
         assert!(positive >= 7, "{ds:?}");
-        let mean: f64 =
-            ds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / ds.len() as f64;
+        let mean: f64 = ds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / ds.len() as f64;
         assert!(
             mean > expected.as_secs_f64() * 0.3,
             "mean D {mean} vs expected {expected}"

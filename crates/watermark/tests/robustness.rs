@@ -104,7 +104,10 @@ fn unrelated_flows_rarely_match() {
         }
     }
     // P(Binomial(24, 1/2) ≤ 7) ≈ 3.2%; with 40 trials expect ~1.
-    assert!(false_positives <= 5, "{false_positives}/{trials} false positives");
+    assert!(
+        false_positives <= 5,
+        "{false_positives}/{trials} false positives"
+    );
 }
 
 #[test]

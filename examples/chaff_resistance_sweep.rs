@@ -32,5 +32,9 @@ fn main() {
         .series_by_label("greedy+")
         .and_then(|s| s.y_at(3.0))
         .unwrap_or_default();
-    println!("at λc = 3: basic WM detects {:.0}%, Greedy+ detects {:.0}%", wm_at_3 * 100.0, gp_at_3 * 100.0);
+    println!(
+        "at λc = 3: basic WM detects {:.0}%, Greedy+ detects {:.0}%",
+        wm_at_3 * 100.0,
+        gp_at_3 * 100.0
+    );
 }

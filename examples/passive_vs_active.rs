@@ -31,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .apply(&marked, seed.child(9));
 
         // Active: Greedy+ and the basic watermark scheme.
-        let active = WatermarkCorrelator::new(
-            marker,
-            watermark.clone(),
-            delta,
-            Algorithm::GreedyPlus,
-        );
-        if active.prepare(&session, &marked)?.correlate(&attacked).correlated {
+        let active =
+            WatermarkCorrelator::new(marker, watermark.clone(), delta, Algorithm::GreedyPlus);
+        if active
+            .prepare(&session, &marked)?
+            .correlate(&attacked)
+            .correlated
+        {
             detections[0] += 1;
         }
         if BasicWatermarkDetector::new(marker, watermark, &session)?
@@ -47,10 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             detections[1] += 1;
         }
         // Passive: Zhang-Guan deviation, IPD correlation, packet counts.
-        if ZhangGuanDetector::paper(delta).correlate(&marked, &attacked).correlated {
+        if ZhangGuanDetector::paper(delta)
+            .correlate(&marked, &attacked)
+            .correlated
+        {
             detections[2] += 1;
         }
-        if IpdCorrelationDetector::new(0.8).correlate(&marked, &attacked).correlated {
+        if IpdCorrelationDetector::new(0.8)
+            .correlate(&marked, &attacked)
+            .correlated
+        {
             detections[3] += 1;
         }
         if PacketCountingDetector::for_rate(marked.mean_rate() * 4.0, delta)
@@ -68,14 +74,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ipd correlation (passive, ref 8)", false),
         ("packet counting (passive, ref 1)", false),
     ];
-    println!("attack: ≤{}s perturbation + 2 pkt/s chaff, {trials} trials\n", delta.as_secs_f64());
+    println!(
+        "attack: ≤{}s perturbation + 2 pkt/s chaff, {trials} trials\n",
+        delta.as_secs_f64()
+    );
     println!("{:<42} {:>10} {:>10}", "scheme", "detected", "traffic?");
     for (k, (name, manipulates)) in names.iter().enumerate() {
         println!(
             "{:<42} {:>10} {:>11}",
             name,
             format!("{}/{}", detections[k], trials),
-            if *manipulates { "manipulates" } else { "observes" }
+            if *manipulates {
+                "manipulates"
+            } else {
+                "observes"
+            }
         );
     }
     Ok(())

@@ -44,14 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("basic WM scheme: {}", basic.correlate(&suspicious));
 
     // 5. …but the Greedy+ best-watermark search still finds it.
-    for algorithm in [Algorithm::Greedy, Algorithm::GreedyPlus, Algorithm::optimal_paper()] {
+    for algorithm in [
+        Algorithm::Greedy,
+        Algorithm::GreedyPlus,
+        Algorithm::optimal_paper(),
+    ] {
         let correlator = WatermarkCorrelator::new(
             marker,
             watermark.clone(),
             TimeDelta::from_secs(7),
             algorithm,
         );
-        let outcome = correlator.prepare(&session, &marked)?.correlate(&suspicious);
+        let outcome = correlator
+            .prepare(&session, &marked)?
+            .correlate(&suspicious);
         println!("{algorithm:<12} → {outcome}");
     }
     Ok(())

@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     candidates[3] = attacked;
 
     // Correlate every candidate against the watermarked upstream flow.
-    let correlator =
-        WatermarkCorrelator::new(marker, watermark, delta, Algorithm::GreedyPlus);
+    let correlator = WatermarkCorrelator::new(marker, watermark, delta, Algorithm::GreedyPlus);
     let prepared = correlator.prepare(&session, &marked)?;
     println!("candidate  verdict");
     let mut hits = Vec::new();

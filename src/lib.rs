@@ -22,6 +22,7 @@
 //! | [`baselines`] | `stepstone-baselines` | basic WM, Zhang-Guan, IPD correlation, packet counting |
 //! | [`stats`] | `stepstone-stats` | rates, cost summaries, figures |
 //! | [`experiments`] | `stepstone-experiments` | the paper's tables and figures |
+//! | [`monitor`] | `stepstone-monitor` | online multi-flow correlation engine |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use stepstone_core as core;
 pub use stepstone_experiments as experiments;
 pub use stepstone_flow as flow;
 pub use stepstone_matching as matching;
+pub use stepstone_monitor as monitor;
 pub use stepstone_netsim as netsim;
 pub use stepstone_stats as stats;
 pub use stepstone_traffic as traffic;
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use stepstone_core::{Algorithm, Correlation, WatermarkCorrelator};
     pub use stepstone_flow::{Flow, FlowBuilder, Packet, Provenance, TimeDelta, Timestamp};
+    pub use stepstone_monitor::{FlowId, Monitor, MonitorConfig, UpstreamId, Verdict};
     pub use stepstone_netsim::SteppingStoneChain;
     pub use stepstone_traffic::{
         corpus, FlowSummary, InteractiveProfile, PoissonProcess, Seed, SessionGenerator,

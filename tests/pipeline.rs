@@ -56,7 +56,10 @@ fn every_adversary_model_is_survivable_or_detected_failing() {
     // Every chaff model at a moderate rate.
     for model in [
         ChaffModel::Poisson { rate: 2.0 },
-        ChaffModel::Bursty { rate: 2.0, burst_len: 4 },
+        ChaffModel::Bursty {
+            rate: 2.0,
+            burst_len: 4,
+        },
         ChaffModel::Mimic { rate: 2.0 },
     ] {
         let attacked = AdversaryPipeline::new()

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A fair coin.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any;
+
+/// The canonical fair-coin strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.gen())
+    }
+}

@@ -1,0 +1,190 @@
+//! The case runner: deterministic RNG, config, and failure reporting.
+
+use crate::strategy::Strategy;
+use rand_chacha::rand_core::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The RNG strategies draw from.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected samples (failed filters) tolerated per test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A failed assertion inside a property (from `prop_assert!` et al.).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives `body` over `config.cases` sampled inputs.
+///
+/// Deterministic: the RNG seed derives from the test name and the case
+/// index, so a failure reproduces on rerun. On failure the generated
+/// inputs are printed (upstream proptest would shrink them; this stub
+/// reports them as-is).
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) when a case fails or when
+/// too many samples are rejected by filters.
+pub fn run_cases<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Clone + Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let base_seed = hasher.finish();
+
+    let mut rejects: u32 = 0;
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37));
+        let value = loop {
+            match strategy.sample(&mut rng) {
+                Some(v) => break v,
+                None => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest stub: {name} rejected {rejects} samples; \
+                         filter too strict for {} cases",
+                        config.cases
+                    );
+                }
+            }
+        };
+        let shown = value.clone();
+        match catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                panic!(
+                    "proptest case failed: {name} (case {case}/{})\n\
+                     input: {shown:?}\n{e}",
+                    config.cases
+                );
+            }
+            Err(panic) => {
+                eprintln!(
+                    "proptest case panicked: {name} (case {case}/{})\ninput: {shown:?}",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = 0u64..1_000_000;
+        let mut first = Vec::new();
+        run_cases("det", &ProptestConfig::with_cases(16), &strat, |v| {
+            first.push(v);
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run_cases("det", &ProptestConfig::with_cases(16), &strat, |v| {
+            second.push(v);
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&v| v != first[0]), "values never vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_assertion_panics_with_input() {
+        run_cases("fails", &ProptestConfig::with_cases(8), &(0u64..10), |v| {
+            prop_assert!(v < 3, "v was {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn filters_resample() {
+        let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        run_cases("filter", &ProptestConfig::with_cases(32), &strat, |v| {
+            prop_assert_eq!(v % 2, 0);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_front_door(
+            v in crate::collection::vec(0i32..50, 0..6),
+            flag in crate::bool::ANY,
+            (lo, hi) in (0u8..10).prop_flat_map(|l| (Just(l), l..10)),
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(lo <= hi);
+            let _ = flag;
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-85ce1e1d8e6bad2a.d: src/lib.rs src/bool.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-85ce1e1d8e6bad2a: src/lib.rs src/bool.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/bool.rs:
+src/collection.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-62e7b99f3339d9b4.d: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions.rs /root/repo/vendor/rand/src/seq.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-62e7b99f3339d9b4.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions.rs /root/repo/vendor/rand/src/seq.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-62e7b99f3339d9b4.rmeta: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions.rs /root/repo/vendor/rand/src/seq.rs
+
+/root/repo/vendor/rand/src/lib.rs:
+/root/repo/vendor/rand/src/distributions.rs:
+/root/repo/vendor/rand/src/seq.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/rand_chacha-658fb535e08063c6.d: /root/repo/vendor/rand_chacha/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand_chacha-658fb535e08063c6.rlib: /root/repo/vendor/rand_chacha/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand_chacha-658fb535e08063c6.rmeta: /root/repo/vendor/rand_chacha/src/lib.rs
+
+/root/repo/vendor/rand_chacha/src/lib.rs:

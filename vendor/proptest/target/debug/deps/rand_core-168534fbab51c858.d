@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/rand_core-168534fbab51c858.d: /root/repo/vendor/rand_core/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand_core-168534fbab51c858.rlib: /root/repo/vendor/rand_core/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand_core-168534fbab51c858.rmeta: /root/repo/vendor/rand_core/src/lib.rs
+
+/root/repo/vendor/rand_core/src/lib.rs:

@@ -1,0 +1,195 @@
+//! Distributions: the `Standard` distribution and uniform ranges.
+
+use crate::Rng;
+use std::marker::PhantomData;
+
+/// A type that can produce values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Turns the distribution plus an owned RNG into an iterator.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: Rng,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Iterator returned by [`Distribution::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" uniform distribution for primitive types: full range
+/// for integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {
+        $(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )+
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    u128 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a bounded interval.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`; `high` must be > `low`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Samples uniformly from `[low, high]`; `high` must be ≥ `low`.
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),+ $(,)?) => {
+            $(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                        // Span fits in u128 for every primitive width; the
+                        // modulo bias is < span / 2^64, negligible for the
+                        // spans this workspace samples.
+                        let span = (high as i128 - low as i128) as u128;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (low as i128 + offset as i128) as $t
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                        let span = (high as i128 - low as i128) as u128 + 1;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (low as i128 + offset as i128) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+            let unit: f64 = Standard.sample(rng);
+            let value = low + unit * (high - low);
+            // Guard against rounding up to the open bound.
+            if value < high {
+                value
+            } else {
+                low
+            }
+        }
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+            let unit: f64 = Standard.sample(rng);
+            low + unit * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+            let unit: f32 = Standard.sample(rng);
+            let value = low + unit * (high - low);
+            if value < high {
+                value
+            } else {
+                low
+            }
+        }
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+            let unit: f32 = Standard.sample(rng);
+            low + unit * (high - low)
+        }
+    }
+
+    /// Range types accepted by [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// `true` when the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_closed(rng, *self.start(), *self.end())
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Vendored stub of `rand` 0.8: the user-facing `Rng` trait plus the
+//! `Standard` distribution, uniform ranges and slice shuffling.
+//!
+//! See `vendor/README.md` for scope and caveats.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{DistIter, Distribution, Standard};
+
+/// Convenience methods layered over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Converts the RNG into an iterator of samples from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        D: Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample_iter(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y = r.gen_range(0..=3u64);
+            assert!(y <= 3);
+            let z = r.gen_range(10..11usize);
+            assert_eq!(z, 10);
+            let f = r.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = rng();
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = rng();
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn sample_iter_is_usable() {
+        let xs: Vec<u64> = rng().sample_iter(Standard).take(4).collect();
+        assert_eq!(xs.len(), 4);
+    }
+
+    #[test]
+    fn works_through_dyn_and_mut_refs() {
+        let mut r = rng();
+        fn takes_generic<R: Rng + ?Sized>(r: &mut R) -> u64 {
+            r.gen()
+        }
+        takes_generic(&mut r);
+    }
+}

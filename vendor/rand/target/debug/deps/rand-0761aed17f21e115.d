@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-0761aed17f21e115.d: src/lib.rs src/distributions.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-0761aed17f21e115: src/lib.rs src/distributions.rs src/seq.rs
+
+src/lib.rs:
+src/distributions.rs:
+src/seq.rs:

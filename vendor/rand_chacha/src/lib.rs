@@ -1,0 +1,165 @@
+//! Vendored stub of `rand_chacha`: a real ChaCha8 block function behind
+//! the `ChaCha8Rng` API surface the workspace uses (`seed_from_u64`,
+//! `set_stream`, `RngCore`).
+//!
+//! The block function is the original DJB ChaCha with 8 rounds, a 64-bit
+//! block counter (state words 12–13) and a 64-bit nonce used as the
+//! stream id (words 14–15), so distinct streams from the same key are
+//! independent keystreams. Output word order and the `seed_from_u64`
+//! expansion are this stub's own; equal seeds give equal streams, but
+//! values are not bit-identical to the upstream crate.
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    block: [u32; 16],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects the keystream `stream` for the current key, restarting it
+    /// from the beginning. Distinct streams are independent.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn set_stream_restarts_the_keystream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let first = a.next_u64();
+        a.set_stream(0);
+        assert_eq!(a.next_u64(), first);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        // Cheap sanity check on the block function: the keystream should
+        // have roughly half its bits set.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 64_000;
+        assert!((ones as i64 - total / 2).abs() < 2_000, "{ones} of {total}");
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let expect = [b.next_u64().to_le_bytes(), b.next_u64().to_le_bytes()].concat();
+        assert_eq!(&buf[..], &expect[..]);
+    }
+}

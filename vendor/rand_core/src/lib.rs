@@ -1,0 +1,102 @@
+//! Vendored stub of `rand_core`: the two traits the workspace relies on.
+//!
+//! See `vendor/README.md` for scope and caveats.
+
+/// A source of uniformly random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with SplitMix64 so
+    /// adjacent seed values produce unrelated states.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &1u64.to_le_bytes());
+        assert_eq!(&buf[8..], &2u64.to_le_bytes()[..3]);
+    }
+
+    #[test]
+    fn seed_from_u64_differs_for_adjacent_seeds() {
+        let a = Counter::seed_from_u64(1).0;
+        let b = Counter::seed_from_u64(2).0;
+        assert_ne!(a, b);
+        assert!(a.abs_diff(b) > 1_000_000);
+    }
+}

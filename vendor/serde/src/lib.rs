@@ -1,0 +1,16 @@
+//! Vendored stub of `serde`: marker traits plus no-op derives.
+//!
+//! Nothing in this workspace serializes values at runtime — the
+//! `#[derive(Serialize, Deserialize)]` annotations exist so types stay
+//! source-compatible with the upstream crate. The derive macros expand
+//! to nothing, and these traits are plain markers; see
+//! `vendor/README.md`.
+
+/// Marker for types that upstream `serde` could serialize.
+pub trait Serialize {}
+
+/// Marker for types that upstream `serde` could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! Vendored stub of `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace never serializes values, so the annotations only need
+//! to compile; see `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
