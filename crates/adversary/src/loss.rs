@@ -46,6 +46,7 @@ impl Transform for PacketLoss {
             .iter()
             .copied()
             .filter(|_| !rng.gen_bool(self.probability));
+        // lint: allow(no_panic) dropping packets from a sorted flow cannot break ordering
         Flow::from_packets(kept).expect("filtering preserves order")
     }
 

@@ -54,6 +54,7 @@ impl Transform for Repacketizer {
                 _ => merged.push(*p),
             }
         }
+        // lint: allow(no_panic) coalescing adjacent packets keeps the head timestamps sorted
         Flow::from_packets(merged).expect("merging preserves order")
     }
 

@@ -130,7 +130,7 @@ impl ZhangGuanDetector {
         let slack = (self.delta - self.threshold).max(TimeDelta::ZERO);
         let mut best_deviation: Option<TimeDelta> = None;
         for step in 0..=GRID {
-            let lo = TimeDelta::from_micros(slack.as_micros() * step / GRID);
+            let lo = slack * step / GRID;
             let band = (lo, lo + self.threshold);
             if let Some(dev) = self.band_first_fit(upstream, suspicious, &sets, band, &mut meter) {
                 if best_deviation.is_none_or(|b| dev < b) {
@@ -158,6 +158,7 @@ impl ZhangGuanDetector {
                 (TimeDelta::ZERO, self.delta),
                 &mut meter,
             )
+            // lint: allow(no_panic) tighten() already proved a feasible matching exists in this band
             .expect("tightened sets admit the earliest-first-fit matching");
         DeviationOutcome {
             correlated: dev <= self.threshold,

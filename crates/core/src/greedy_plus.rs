@@ -31,6 +31,7 @@ pub(crate) fn repair_order(
         let e = &plan.endpoints[pos];
         meter.charge_one();
         if e.wants_late && sel[pos] >= min_later {
+            // lint: allow(no_panic) tightening makes first matches strictly increasing, so a conflict-free pick exists
             sel[pos] = latest_before(sets.set(e.up), min_later).expect(
                 "tightened first matches strictly increase, so one is always conflict-free",
             );
@@ -92,6 +93,7 @@ pub(crate) fn improve(
                 let e = &plan.endpoints[pos];
                 let set = sets.set(e.up);
                 let desired = if e.wants_late {
+                    // lint: allow(no_panic) MatchingSets::tighten rejects flows with an empty set up front
                     *set.last().expect("sets are never empty")
                 } else {
                     set[0]

@@ -77,6 +77,7 @@ fn fixed_contributions(
     let mut d = vec![0i64; plan.bits];
     for (i, e) in plan.endpoints.iter().enumerate() {
         if !free[i] {
+            // lint: allow(micros_math) signed ±1-weighted sum of timestamps for the IPD decode objective; no TimeDelta form exists
             d[e.bit] += e.coeff as i64 * suspicious.timestamp(base_sel[i] as usize).as_micros();
         }
     }

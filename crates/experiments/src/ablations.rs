@@ -143,6 +143,7 @@ pub fn ablation_phase1(cfg: &ExperimentConfig) -> String {
                         .with_phase1_scope(scope);
                 let prepared = correlator
                     .prepare(&up.original, &up.marked)
+                    // lint: allow(no_panic) dataset flows were embedded with this layout, so prepare cannot reject them
                     .expect("prepared flows host the layout");
                 let own = attacked(
                     &up.marked,

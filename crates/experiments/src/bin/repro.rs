@@ -6,6 +6,8 @@
 //!          figures (3–10)  synthetic (§4.2)  summary (§4.3)
 //!          future-loss future-repack (§6)  monitor (online engine)  all
 //! ```
+
+#![forbid(unsafe_code)]
 //!
 //! The `monitor` target additionally honours `--pairs N`, `--decoys N`,
 //! `--shards N` and `--packets N` to size the online replay.

@@ -74,6 +74,7 @@ fn prepare_flow(original: Flow, params: WatermarkParams, seed: Seed) -> Prepared
     let watermark = Watermark::random(params.bits, &mut key.rng(0x3A7));
     let marked = marker
         .embed(&original, &watermark)
+        // lint: allow(no_panic) corpus generators emit flows long enough for the layout by construction
         .expect("corpus traces are sized to host the watermark layout");
     PreparedFlow {
         original,

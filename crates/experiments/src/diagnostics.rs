@@ -32,6 +32,7 @@ pub fn hamming_histograms(cfg: &ExperimentConfig) -> String {
         );
         let prepared = correlator
             .prepare(&up.original, &up.marked)
+            // lint: allow(no_panic) dataset flows were embedded with this layout, so prepare cannot reject them
             .expect("prepared flows host the layout");
         let own = attacked(
             &up.marked,

@@ -154,6 +154,7 @@ where
             .collect();
         out = handles
             .into_iter()
+            // lint: allow(no_panic) re-raise a worker panic on the driver thread; swallowing it would fake results
             .map(|h| h.join().expect("experiment worker panicked"))
             .collect();
     });

@@ -48,6 +48,7 @@ impl Scheme {
         SCHEMES
             .iter()
             .position(|s| s == self)
+            // lint: allow(no_panic) SCHEMES enumerates every variant; a miss is a compile-time-sized table bug
             .expect("SCHEMES contains every variant")
     }
 
@@ -63,6 +64,7 @@ impl Scheme {
         match self {
             Scheme::BasicWm => {
                 let d = BasicWatermarkDetector::new(up.marker, up.watermark.clone(), &up.original)
+                    // lint: allow(no_panic) dataset flows were embedded with this layout, so binding cannot fail
                     .expect("prepared flows host the layout");
                 let out = d.correlate(suspicious);
                 (out.correlated, out.cost)
@@ -84,6 +86,7 @@ impl Scheme {
                 let c = WatermarkCorrelator::new(up.marker, up.watermark.clone(), delta, algorithm);
                 let prepared = c
                     .prepare(&up.original, &up.marked)
+                    // lint: allow(no_panic) dataset flows were embedded with this layout, so prepare cannot reject them
                     .expect("prepared flows host the layout");
                 let out = prepared.correlate(suspicious);
                 (out.correlated, out.cost)

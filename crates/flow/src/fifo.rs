@@ -106,7 +106,7 @@ impl FifoChannel {
             prev_release = Some(release);
             packets.push(p.at(release));
         }
-        // Construction preserves ordering, so this cannot fail.
+        // lint: allow(no_panic) release times are clamped to be monotone in the loop above
         Flow::from_packets(packets).expect("FIFO release times are monotone")
     }
 }

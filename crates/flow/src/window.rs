@@ -152,6 +152,7 @@ impl SlidingWindow {
     /// decoding. Provenance is preserved.
     pub fn snapshot(&self) -> Flow {
         Flow::from_packets(self.packets.iter().copied())
+            // lint: allow(no_panic) push() rejects out-of-order packets, so the retained buffer is always sorted
             .expect("window invariant: timestamps are non-decreasing")
     }
 

@@ -139,6 +139,7 @@ impl MatchingSets {
                 "matching set {i} must be strictly sorted"
             );
             assert!(
+                // lint: allow(no_panic) the assert two lines up already rejected empty sets
                 (*set.last().expect("nonempty") as usize) < suspicious_len,
                 "matching set {i} references an out-of-range packet"
             );
@@ -188,6 +189,7 @@ impl MatchingSets {
     ///
     /// Panics if `i` is out of range.
     pub fn last(&self, i: usize) -> u32 {
+        // lint: allow(no_panic) the constructor asserts every set is nonempty
         *self.sets[i].last().expect("sets are never empty")
     }
 
@@ -262,6 +264,7 @@ impl MatchingSets {
                     return false;
                 }
             }
+            // lint: allow(no_panic) the is_empty early-return above guarantees a last element
             max_excl = Some(*set.last().expect("nonempty"));
         }
         true

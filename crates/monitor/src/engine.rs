@@ -1,8 +1,9 @@
 //! The online correlation engine: registry, shard pool, verdicts.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -11,6 +12,7 @@ use stepstone_flow::{Flow, Packet, SlidingWindow, Timestamp};
 
 use crate::config::MonitorConfig;
 use crate::ids::{FlowId, PairId, UpstreamId};
+use crate::queue::{shard_queue, ShardGauges, ShardReceiver, ShardSender};
 use crate::stats::MonitorStats;
 use crate::verdict::Verdict;
 
@@ -65,31 +67,20 @@ pub struct MonitorReport {
     pub stats: MonitorStats,
 }
 
-/// The online multi-flow correlation engine.
-///
-/// A `Monitor` owns a pool of decode worker threads ("shards"). The
-/// caller registers watermarked upstream flows once, then feeds a
-/// time-ordered stream of `(FlowId, Packet)` events through
-/// [`ingest`](Monitor::ingest); the engine windows each suspicious
-/// flow, schedules (upstream, suspicious) pair decodes onto the shard
-/// owning the pair, and surfaces results through
-/// [`drain_verdicts`](Monitor::drain_verdicts). Ingest never blocks:
-/// when a shard queue is full the decode attempt is dropped and
-/// counted, and the pair retries as more packets arrive.
-///
-/// See the [crate docs](crate) for an end-to-end example.
-pub struct Monitor {
-    config: MonitorConfig,
-    upstreams: BTreeMap<UpstreamId, Arc<BoundCorrelator>>,
+/// The single-threaded control half of the engine: flow registry, pair
+/// bookkeeping, verdict buffer and counters. Split from [`Monitor`] so
+/// completion pumping can run while a shard sender is borrowed (the
+/// borrow is disjoint field-by-field), keeping the shutdown flush
+/// deadlock-free.
+struct Control {
     suspects: HashMap<FlowId, Suspect>,
     /// Pairs whose flow was evicted while a decode was in flight; kept
     /// so the completion still resolves to a terminal verdict.
     orphans: HashMap<PairId, PairState>,
-    job_txs: Vec<SyncSender<DecodeJob>>,
-    queue_depths: Vec<Arc<AtomicUsize>>,
-    decodes_run: Arc<AtomicU64>,
-    done_rx: Receiver<Completion>,
-    workers: Vec<JoinHandle<()>>,
+    /// Verdicts awaiting [`Monitor::drain_verdicts`]. Grows by one per
+    /// pair/flow lifecycle event and is bounded by the number of live
+    /// pairs between drains; all growth is audited through `emit`.
+    // #[bounded(via = "emit")]
     verdicts: VecDeque<Verdict>,
     clock: Option<Timestamp>,
     packets_ingested: u64,
@@ -97,49 +88,14 @@ pub struct Monitor {
     flows_evicted: u64,
     pairs_latched: u64,
     decodes_scheduled: u64,
-    decodes_dropped: u64,
     verdicts_emitted: u64,
 }
 
-impl Monitor {
-    /// Creates an engine and spawns its shard workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sizing field of `config` is zero.
-    pub fn new(config: MonitorConfig) -> Self {
-        config.validate();
-        let decodes_run = Arc::new(AtomicU64::new(0));
-        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
-        let mut job_txs = Vec::with_capacity(config.shards);
-        let mut queue_depths = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let (tx, rx) = std::sync::mpsc::sync_channel::<DecodeJob>(config.queue_capacity);
-            let depth = Arc::new(AtomicUsize::new(0));
-            let worker_depth = Arc::clone(&depth);
-            let worker_done = done_tx.clone();
-            let worker_decodes = Arc::clone(&decodes_run);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("monitor-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, worker_done, worker_depth, worker_decodes))
-                    .expect("spawn monitor shard worker"),
-            );
-            job_txs.push(tx);
-            queue_depths.push(depth);
-        }
-        drop(done_tx);
-        Monitor {
-            config,
-            upstreams: BTreeMap::new(),
+impl Control {
+    fn new() -> Self {
+        Control {
             suspects: HashMap::new(),
             orphans: HashMap::new(),
-            job_txs,
-            queue_depths,
-            decodes_run,
-            done_rx,
-            workers,
             verdicts: VecDeque::new(),
             clock: None,
             packets_ingested: 0,
@@ -147,290 +103,14 @@ impl Monitor {
             flows_evicted: 0,
             pairs_latched: 0,
             decodes_scheduled: 0,
-            decodes_dropped: 0,
             verdicts_emitted: 0,
-        }
-    }
-
-    /// Registers a watermarked upstream flow. Every tracked suspicious
-    /// flow — current and future — becomes a candidate pair with it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is already registered.
-    pub fn register_upstream(&mut self, id: UpstreamId, correlator: BoundCorrelator) {
-        let previous = self.upstreams.insert(id, Arc::new(correlator));
-        assert!(previous.is_none(), "upstream {id} registered twice");
-    }
-
-    /// Feeds one packet of suspicious flow `flow` into the engine.
-    /// Returns `true` if the packet was accepted into the flow's
-    /// window; `false` if it was rejected as out-of-order (counted in
-    /// [`MonitorStats::packets_rejected`]).
-    ///
-    /// Never blocks: decode scheduling uses `try_send` and drops on a
-    /// full shard queue.
-    pub fn ingest(&mut self, flow: FlowId, packet: Packet) -> bool {
-        self.pump();
-        self.clock = Some(match self.clock {
-            Some(t) if t >= packet.timestamp() => t,
-            _ => packet.timestamp(),
-        });
-        let suspect = self.suspects.entry(flow).or_insert_with(|| Suspect {
-            window: SlidingWindow::new(self.config.window_capacity),
-            pairs: BTreeMap::new(),
-        });
-        if suspect.window.push(packet).is_err() {
-            self.packets_rejected += 1;
-            return false;
-        }
-        self.packets_ingested += 1;
-        self.schedule_pairs(flow);
-        if self.config.idle_timeout.is_some()
-            && self.packets_ingested.is_multiple_of(EVICT_SWEEP_EVERY)
-        {
-            if let Some(now) = self.clock {
-                self.evict_idle(now);
-            }
-        }
-        true
-    }
-
-    /// Moves verdicts emitted since the last drain to the caller,
-    /// oldest first. Non-blocking.
-    pub fn drain_verdicts(&mut self) -> Vec<Verdict> {
-        self.pump();
-        self.verdicts.drain(..).collect()
-    }
-
-    /// Evicts suspicious flows idle longer than the configured timeout
-    /// as of stream time `now`, emitting `Evicted` (and terminal
-    /// `Cleared`) verdicts. Returns the number of flows evicted.
-    /// No-op when no idle timeout is configured.
-    pub fn evict_idle(&mut self, now: Timestamp) -> usize {
-        let Some(timeout) = self.config.idle_timeout else {
-            return 0;
-        };
-        let expired: Vec<(FlowId, stepstone_flow::TimeDelta)> = self
-            .suspects
-            .iter()
-            .filter_map(|(&id, s)| {
-                let idle = s.window.idle_since(now)?;
-                (idle > timeout).then_some((id, idle))
-            })
-            .collect();
-        for &(id, idle) in &expired {
-            let suspect = self.suspects.remove(&id).expect("expired flow is tracked");
-            self.flows_evicted += 1;
-            for (upstream, state) in suspect.pairs {
-                let pair = PairId { upstream, flow: id };
-                if state.latched {
-                    continue;
-                }
-                if state.in_flight {
-                    // Let the in-flight decode resolve the pair.
-                    self.orphans.insert(pair, state);
-                } else if state.decodes > 0 {
-                    self.emit(Verdict::Cleared {
-                        pair,
-                        hamming: state.last_hamming,
-                        decodes: state.decodes,
-                    });
-                }
-            }
-            self.emit(Verdict::Evicted { flow: id, idle });
-        }
-        expired.len()
-    }
-
-    /// A point-in-time snapshot of the engine counters.
-    pub fn stats(&self) -> MonitorStats {
-        MonitorStats {
-            packets_ingested: self.packets_ingested,
-            packets_rejected: self.packets_rejected,
-            flows_active: self.suspects.len(),
-            flows_evicted: self.flows_evicted,
-            pairs_active: self
-                .suspects
-                .values()
-                .map(|s| s.pairs.values().filter(|p| !p.latched).count())
-                .sum(),
-            pairs_latched: self.pairs_latched,
-            decodes_scheduled: self.decodes_scheduled,
-            decodes_run: self.decodes_run.load(Ordering::Relaxed),
-            decodes_dropped: self.decodes_dropped,
-            queue_depths: self
-                .queue_depths
-                .iter()
-                .map(|d| d.load(Ordering::Relaxed))
-                .collect(),
-            verdicts_emitted: self.verdicts_emitted,
-        }
-    }
-
-    /// Flushes and shuts down: runs one final decode for every pair
-    /// with undecoded packets, joins the workers, resolves every
-    /// remaining pair to a terminal verdict, and returns the undrained
-    /// verdicts plus a final stats snapshot.
-    ///
-    /// Unlike [`ingest`](Monitor::ingest), the flush uses blocking
-    /// sends — at shutdown completeness beats latency.
-    pub fn finish(mut self) -> MonitorReport {
-        // Let in-flight decodes land first: a pair whose last decode
-        // covered only a prefix must still get its full-window flush
-        // decode below, and an in-flight completion may latch the pair
-        // and make that flush unnecessary.
-        loop {
-            self.pump();
-            let busy = self
-                .suspects
-                .values()
-                .any(|s| s.pairs.values().any(|p| p.in_flight));
-            if !busy && self.orphans.is_empty() {
-                break;
-            }
-            std::thread::yield_now();
-        }
-        // Final decode for every non-latched pair that has data beyond
-        // its last decode (or was never decoded at all).
-        let flows: Vec<FlowId> = self.suspects.keys().copied().collect();
-        for flow in flows {
-            let suspect = &self.suspects[&flow];
-            let mut jobs = Vec::new();
-            for (&upstream, state) in &suspect.pairs {
-                let correlator = &self.upstreams[&upstream];
-                if state.latched
-                    || state.in_flight
-                    || suspect.window.len() < self.min_window_for(correlator)
-                    || state.decoded_through >= suspect.window.pushed()
-                {
-                    continue;
-                }
-                jobs.push((upstream, Arc::clone(correlator)));
-            }
-            for (upstream, correlator) in jobs {
-                let pair = PairId { upstream, flow };
-                let suspect = self.suspects.get_mut(&flow).expect("flow is tracked");
-                let job = DecodeJob {
-                    pair,
-                    correlator,
-                    window: suspect.window.snapshot(),
-                    pushed: suspect.window.pushed(),
-                };
-                let state = suspect.pairs.get_mut(&upstream).expect("pair exists");
-                state.in_flight = true;
-                state.decoded_through = job.pushed;
-                let shard = (pair.shard_hash() % self.job_txs.len() as u64) as usize;
-                self.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
-                self.decodes_scheduled += 1;
-                // Blocking send: the flush must not drop work. Drain
-                // completions opportunistically so a stalled queue and
-                // a full-to-bursting done channel cannot deadlock.
-                let mut job = Some(job);
-                while let Err(TrySendError::Full(j)) =
-                    self.job_txs[shard].try_send(job.take().expect("job present"))
-                {
-                    job = Some(j);
-                    self.pump();
-                    std::thread::yield_now();
-                }
-            }
-        }
-        // Closing the job channels lets workers drain and exit.
-        self.job_txs.clear();
-        for worker in self.workers.drain(..) {
-            worker.join().expect("monitor shard worker panicked");
-        }
-        self.pump();
-        assert!(self.orphans.is_empty(), "all in-flight decodes resolved");
-        // Terminal verdicts for everything still undecided, in
-        // deterministic (flow, upstream) order.
-        let mut remaining: Vec<(FlowId, UpstreamId, PairState)> = Vec::new();
-        for (&flow, suspect) in &self.suspects {
-            for (&upstream, state) in &suspect.pairs {
-                if !state.latched {
-                    remaining.push((flow, upstream, state.clone()));
-                }
-            }
-        }
-        remaining.sort_by_key(|&(flow, upstream, _)| (flow, upstream));
-        for (flow, upstream, state) in remaining {
-            self.emit(Verdict::Cleared {
-                pair: PairId { upstream, flow },
-                hamming: state.last_hamming,
-                decodes: state.decodes,
-            });
-        }
-        let stats = self.stats();
-        MonitorReport {
-            verdicts: self.verdicts.drain(..).collect(),
-            stats,
-        }
-    }
-
-    /// The window size a pair needs before decoding is worthwhile: a
-    /// complete matching needs at least as many suspicious packets as
-    /// upstream packets, clamped to what the window can ever hold.
-    fn min_window_for(&self, correlator: &BoundCorrelator) -> usize {
-        correlator
-            .upstream()
-            .len()
-            .min(self.config.window_capacity)
-            .max(self.config.min_window.min(self.config.window_capacity))
-            .max(1)
-    }
-
-    /// Schedules decodes for `flow`'s pairs that have accrued enough
-    /// new packets. Uses `try_send`; a full shard queue counts a drop
-    /// and the pair retries on a later packet.
-    fn schedule_pairs(&mut self, flow: FlowId) {
-        let upstream_ids: Vec<UpstreamId> = self.upstreams.keys().copied().collect();
-        for upstream in upstream_ids {
-            let correlator = Arc::clone(&self.upstreams[&upstream]);
-            let min_window = self.min_window_for(&correlator);
-            let suspect = self.suspects.get_mut(&flow).expect("flow is tracked");
-            let state = suspect.pairs.entry(upstream).or_default();
-            if state.latched
-                || state.in_flight
-                || suspect.window.len() < min_window
-                || suspect.window.pushed() - state.decoded_through < self.config.decode_batch as u64
-            {
-                continue;
-            }
-            let pair = PairId { upstream, flow };
-            let pushed = suspect.window.pushed();
-            let job = DecodeJob {
-                pair,
-                correlator,
-                window: suspect.window.snapshot(),
-                pushed,
-            };
-            let shard = (pair.shard_hash() % self.job_txs.len() as u64) as usize;
-            match self.job_txs[shard].try_send(job) {
-                Ok(()) => {
-                    self.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
-                    self.decodes_scheduled += 1;
-                    let state = self
-                        .suspects
-                        .get_mut(&flow)
-                        .expect("flow is tracked")
-                        .pairs
-                        .get_mut(&upstream)
-                        .expect("pair exists");
-                    state.in_flight = true;
-                    state.decoded_through = pushed;
-                }
-                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                    self.decodes_dropped += 1;
-                }
-            }
         }
     }
 
     /// Drains worker completions without blocking, updating pair state
     /// and emitting `Correlated` verdicts.
-    fn pump(&mut self) {
-        while let Ok(done) = self.done_rx.try_recv() {
+    fn pump(&mut self, done_rx: &Receiver<Completion>) {
+        while let Ok(done) = done_rx.try_recv() {
             let Completion { pair, outcome } = done;
             let state = match self.suspects.get_mut(&pair.flow) {
                 Some(s) => s.pairs.get_mut(&pair.upstream),
@@ -471,21 +151,446 @@ impl Monitor {
         }
     }
 
+    /// `true` while any pair still has a queued or running decode.
+    fn any_in_flight(&self) -> bool {
+        !self.orphans.is_empty()
+            || self
+                .suspects
+                .values()
+                .any(|s| s.pairs.values().any(|p| p.in_flight))
+    }
+
+    /// The single choke point through which the verdict queue grows.
     fn emit(&mut self, verdict: Verdict) {
         self.verdicts_emitted += 1;
         self.verdicts.push_back(verdict);
     }
 }
 
-fn worker_loop(
-    rx: Receiver<DecodeJob>,
-    done: Sender<Completion>,
-    depth: Arc<AtomicUsize>,
+/// The online multi-flow correlation engine.
+///
+/// A `Monitor` owns a pool of decode worker threads ("shards"). The
+/// caller registers watermarked upstream flows once, then feeds a
+/// time-ordered stream of `(FlowId, Packet)` events through
+/// [`ingest`](Monitor::ingest); the engine windows each suspicious
+/// flow, schedules (upstream, suspicious) pair decodes onto the shard
+/// owning the pair, and surfaces results through
+/// [`drain_verdicts`](Monitor::drain_verdicts). Ingest never blocks:
+/// when a shard queue is full the decode attempt is dropped and
+/// counted, and the pair retries as more packets arrive.
+///
+/// A worker panic during a decode is contained: the panic is caught,
+/// counted in [`MonitorStats::worker_panics`], and reported as a
+/// failed (non-correlating) decode, so the owning pair still resolves
+/// to a terminal verdict instead of wedging [`finish`](Monitor::finish).
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Monitor {
+    config: MonitorConfig,
+    upstreams: BTreeMap<UpstreamId, Arc<BoundCorrelator>>,
+    control: Control,
+    shards: Vec<ShardSender<DecodeJob>>,
+    /// Gauge handles outliving `shards`, so the final stats snapshot in
+    /// [`finish`](Monitor::finish) still sees per-shard depths/drops
+    /// after the senders are dropped to release the workers.
+    gauges: Vec<ShardGauges>,
     decodes_run: Arc<AtomicU64>,
+    worker_panics: Arc<AtomicU64>,
+    done_rx: Receiver<Completion>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Monitor {
+    /// Creates an engine and spawns its shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing field of `config` is zero or a worker
+    /// thread cannot be spawned.
+    pub fn new(config: MonitorConfig) -> Self {
+        config.validate();
+        let decodes_run = Arc::new(AtomicU64::new(0));
+        let worker_panics = Arc::new(AtomicU64::new(0));
+        // The done channel is intentionally unbounded: its occupancy is
+        // bounded by construction — at most (queue_capacity + 1) jobs
+        // per shard are ever in flight, each contributing one
+        // completion, and the control side drains on every ingest.
+        // lint: allow(bounded_queue) occupancy bounded by shards * (queue_capacity + 1) in-flight jobs
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = shard_queue::<DecodeJob>(config.queue_capacity);
+            let worker_done = done_tx.clone();
+            let worker_decodes = Arc::clone(&decodes_run);
+            let worker_caught = Arc::clone(&worker_panics);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("monitor-shard-{shard}"))
+                    .spawn(move || worker_loop(rx, worker_done, worker_decodes, worker_caught))
+                    // lint: allow(no_panic) thread spawn fails only on resource exhaustion; documented under Panics
+                    .expect("spawn monitor shard worker"),
+            );
+            shards.push(tx);
+        }
+        drop(done_tx);
+        let gauges = shards.iter().map(ShardSender::gauges).collect();
+        Monitor {
+            config,
+            upstreams: BTreeMap::new(),
+            control: Control::new(),
+            shards,
+            gauges,
+            decodes_run,
+            worker_panics,
+            done_rx,
+            workers,
+        }
+    }
+
+    /// Registers a watermarked upstream flow. Every tracked suspicious
+    /// flow — current and future — becomes a candidate pair with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn register_upstream(&mut self, id: UpstreamId, correlator: BoundCorrelator) {
+        let previous = self.upstreams.insert(id, Arc::new(correlator));
+        assert!(previous.is_none(), "upstream {id} registered twice");
+    }
+
+    /// Feeds one packet of suspicious flow `flow` into the engine.
+    /// Returns `true` if the packet was accepted into the flow's
+    /// window; `false` if it was rejected as out-of-order (counted in
+    /// [`MonitorStats::packets_rejected`]).
+    ///
+    /// Never blocks: decode scheduling uses `try_push` and drops on a
+    /// full shard queue.
+    pub fn ingest(&mut self, flow: FlowId, packet: Packet) -> bool {
+        self.control.pump(&self.done_rx);
+        self.control.clock = Some(match self.control.clock {
+            Some(t) if t >= packet.timestamp() => t,
+            _ => packet.timestamp(),
+        });
+        let window_capacity = self.config.window_capacity;
+        let suspect = self
+            .control
+            .suspects
+            .entry(flow)
+            .or_insert_with(|| Suspect {
+                window: SlidingWindow::new(window_capacity),
+                pairs: BTreeMap::new(),
+            });
+        if suspect.window.push(packet).is_err() {
+            self.control.packets_rejected += 1;
+            return false;
+        }
+        self.control.packets_ingested += 1;
+        self.schedule_pairs(flow);
+        if self.config.idle_timeout.is_some()
+            && self
+                .control
+                .packets_ingested
+                .is_multiple_of(EVICT_SWEEP_EVERY)
+        {
+            if let Some(now) = self.control.clock {
+                self.evict_idle(now);
+            }
+        }
+        true
+    }
+
+    /// Moves verdicts emitted since the last drain to the caller,
+    /// oldest first. Non-blocking.
+    pub fn drain_verdicts(&mut self) -> Vec<Verdict> {
+        self.control.pump(&self.done_rx);
+        self.control.verdicts.drain(..).collect()
+    }
+
+    /// Evicts suspicious flows idle longer than the configured timeout
+    /// as of stream time `now`, emitting `Evicted` (and terminal
+    /// `Cleared`) verdicts. Returns the number of flows evicted.
+    /// No-op when no idle timeout is configured.
+    pub fn evict_idle(&mut self, now: Timestamp) -> usize {
+        let Some(timeout) = self.config.idle_timeout else {
+            return 0;
+        };
+        let expired: Vec<(FlowId, stepstone_flow::TimeDelta)> = self
+            .control
+            .suspects
+            .iter()
+            .filter_map(|(&id, s)| {
+                let idle = s.window.idle_since(now)?;
+                (idle > timeout).then_some((id, idle))
+            })
+            .collect();
+        for &(id, idle) in &expired {
+            let Some(suspect) = self.control.suspects.remove(&id) else {
+                continue;
+            };
+            self.control.flows_evicted += 1;
+            for (upstream, state) in suspect.pairs {
+                let pair = PairId { upstream, flow: id };
+                if state.latched {
+                    continue;
+                }
+                if state.in_flight {
+                    // Let the in-flight decode resolve the pair.
+                    self.control.orphans.insert(pair, state);
+                } else if state.decodes > 0 {
+                    self.control.emit(Verdict::Cleared {
+                        pair,
+                        hamming: state.last_hamming,
+                        decodes: state.decodes,
+                    });
+                }
+            }
+            self.control.emit(Verdict::Evicted { flow: id, idle });
+        }
+        expired.len()
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            packets_ingested: self.control.packets_ingested,
+            packets_rejected: self.control.packets_rejected,
+            flows_active: self.control.suspects.len(),
+            flows_evicted: self.control.flows_evicted,
+            pairs_active: self
+                .control
+                .suspects
+                .values()
+                .map(|s| s.pairs.values().filter(|p| !p.latched).count())
+                .sum(),
+            pairs_latched: self.control.pairs_latched,
+            decodes_scheduled: self.control.decodes_scheduled,
+            // ordering: monotonic stat counter; no memory is published
+            // through it.
+            decodes_run: self.decodes_run.load(Ordering::Relaxed),
+            decodes_dropped: self.gauges.iter().map(ShardGauges::dropped).sum(),
+            queue_depths: self.gauges.iter().map(ShardGauges::depth).collect(),
+            // ordering: monotonic stat counter; no memory is published
+            // through it.
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            verdicts_emitted: self.control.verdicts_emitted,
+        }
+    }
+
+    /// Flushes and shuts down: runs one final decode for every pair
+    /// with undecoded packets, joins the workers, resolves every
+    /// remaining pair to a terminal verdict, and returns the undrained
+    /// verdicts plus a final stats snapshot.
+    ///
+    /// Unlike [`ingest`](Monitor::ingest), the flush uses blocking
+    /// pushes — at shutdown completeness beats latency.
+    pub fn finish(mut self) -> MonitorReport {
+        // Let in-flight decodes land first: a pair whose last decode
+        // covered only a prefix must still get its full-window flush
+        // decode below, and an in-flight completion may latch the pair
+        // and make that flush unnecessary. Workers cannot wedge this
+        // loop: every accepted job produces a completion even when the
+        // decode panics (see worker_loop).
+        loop {
+            self.control.pump(&self.done_rx);
+            if !self.control.any_in_flight() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Final decode for every non-latched pair that has data beyond
+        // its last decode (or was never decoded at all).
+        let flows: Vec<FlowId> = self.control.suspects.keys().copied().collect();
+        for flow in flows {
+            let Some(suspect) = self.control.suspects.get(&flow) else {
+                continue;
+            };
+            let mut jobs = Vec::new();
+            for (&upstream, state) in &suspect.pairs {
+                let Some(correlator) = self.upstreams.get(&upstream) else {
+                    continue;
+                };
+                if state.latched
+                    || state.in_flight
+                    || suspect.window.len() < self.min_window_for(correlator)
+                    || state.decoded_through >= suspect.window.pushed()
+                {
+                    continue;
+                }
+                jobs.push((upstream, Arc::clone(correlator)));
+            }
+            for (upstream, correlator) in jobs {
+                let pair = PairId { upstream, flow };
+                let Some(suspect) = self.control.suspects.get_mut(&flow) else {
+                    continue;
+                };
+                let job = DecodeJob {
+                    pair,
+                    correlator,
+                    window: suspect.window.snapshot(),
+                    pushed: suspect.window.pushed(),
+                };
+                let pushed = job.pushed;
+                let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
+                // Blocking push: the flush must not drop work. The
+                // pump callback keeps draining completions so a full
+                // queue and an undrained done stream cannot deadlock;
+                // the disjoint `control`/`shards` borrows make this
+                // legal.
+                let sender = &self.shards[shard];
+                let control = &mut self.control;
+                let accepted = sender.push_blocking(job, || control.pump(&self.done_rx));
+                if accepted {
+                    self.control.decodes_scheduled += 1;
+                    if let Some(state) = self
+                        .control
+                        .suspects
+                        .get_mut(&flow)
+                        .and_then(|s| s.pairs.get_mut(&upstream))
+                    {
+                        state.in_flight = true;
+                        state.decoded_through = pushed;
+                    }
+                }
+                // `accepted == false` means the shard's worker is gone
+                // (its receiver dropped); the pair resolves through the
+                // terminal sweep below instead.
+            }
+        }
+        // Closing the job channels lets workers drain and exit.
+        self.shards.clear();
+        for worker in self.workers.drain(..) {
+            // lint: allow(no_panic) worker_loop catches decode panics; a join error here is a harness bug
+            worker.join().expect("monitor shard worker exited cleanly");
+        }
+        self.control.pump(&self.done_rx);
+        debug_assert!(
+            self.control.orphans.is_empty(),
+            "all in-flight decodes resolved"
+        );
+        // Terminal verdicts for everything still undecided, in
+        // deterministic (flow, upstream) order.
+        let mut remaining: Vec<(FlowId, UpstreamId, PairState)> = Vec::new();
+        for (&flow, suspect) in &self.control.suspects {
+            for (&upstream, state) in &suspect.pairs {
+                if !state.latched {
+                    remaining.push((flow, upstream, state.clone()));
+                }
+            }
+        }
+        remaining.sort_by_key(|&(flow, upstream, _)| (flow, upstream));
+        for (flow, upstream, state) in remaining {
+            self.control.emit(Verdict::Cleared {
+                pair: PairId { upstream, flow },
+                hamming: state.last_hamming,
+                decodes: state.decodes,
+            });
+        }
+        let stats = self.stats();
+        MonitorReport {
+            verdicts: self.control.verdicts.drain(..).collect(),
+            stats,
+        }
+    }
+
+    /// The window size a pair needs before decoding is worthwhile: a
+    /// complete matching needs at least as many suspicious packets as
+    /// upstream packets, clamped to what the window can ever hold.
+    fn min_window_for(&self, correlator: &BoundCorrelator) -> usize {
+        correlator
+            .upstream()
+            .len()
+            .min(self.config.window_capacity)
+            .max(self.config.min_window.min(self.config.window_capacity))
+            .max(1)
+    }
+
+    /// Schedules decodes for `flow`'s pairs that have accrued enough
+    /// new packets. Uses `try_push`; a full shard queue counts a drop
+    /// and the pair retries on a later packet.
+    fn schedule_pairs(&mut self, flow: FlowId) {
+        let upstream_ids: Vec<UpstreamId> = self.upstreams.keys().copied().collect();
+        for upstream in upstream_ids {
+            let Some(correlator) = self.upstreams.get(&upstream).map(Arc::clone) else {
+                continue;
+            };
+            let min_window = self.min_window_for(&correlator);
+            let Some(suspect) = self.control.suspects.get_mut(&flow) else {
+                return;
+            };
+            let state = suspect.pairs.entry(upstream).or_default();
+            if state.latched
+                || state.in_flight
+                || suspect.window.len() < min_window
+                || suspect.window.pushed() - state.decoded_through < self.config.decode_batch as u64
+            {
+                continue;
+            }
+            let pair = PairId { upstream, flow };
+            let pushed = suspect.window.pushed();
+            let job = DecodeJob {
+                pair,
+                correlator,
+                window: suspect.window.snapshot(),
+                pushed,
+            };
+            let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
+            if self.shards[shard].try_push(job) {
+                self.control.decodes_scheduled += 1;
+                if let Some(state) = self
+                    .control
+                    .suspects
+                    .get_mut(&flow)
+                    .and_then(|s| s.pairs.get_mut(&upstream))
+                {
+                    state.in_flight = true;
+                    state.decoded_through = pushed;
+                }
+            }
+            // A rejected push is already counted by the shard queue;
+            // the pair simply retries when more packets arrive.
+        }
+    }
+}
+
+/// The outcome reported for a decode whose worker panicked: not
+/// correlated, no watermark, flagged incomplete.
+fn panicked_outcome() -> Correlation {
+    Correlation {
+        correlated: false,
+        hamming: None,
+        best: None,
+        cost: 0,
+        matching_cost: 0,
+        completed: false,
+    }
+}
+
+/// Runs one decode with panic containment: a panicking decode is
+/// counted and mapped to [`panicked_outcome`] so the job still yields a
+/// completion — otherwise the control side would wait on the pair
+/// forever at shutdown. `AssertUnwindSafe` is sound because the closure
+/// only reads state the caller consumes afterwards and writes nothing
+/// shared.
+fn run_contained(decode: impl FnOnce() -> Correlation, worker_panics: &AtomicU64) -> Correlation {
+    std::panic::catch_unwind(AssertUnwindSafe(decode)).unwrap_or_else(|_| {
+        // ordering: monotonic stat counter; no memory is published
+        // through it.
+        worker_panics.fetch_add(1, Ordering::Relaxed);
+        panicked_outcome()
+    })
+}
+
+fn worker_loop(
+    rx: ShardReceiver<DecodeJob>,
+    done: Sender<Completion>,
+    decodes_run: Arc<AtomicU64>,
+    worker_panics: Arc<AtomicU64>,
 ) {
-    while let Ok(job) = rx.recv() {
-        depth.fetch_sub(1, Ordering::Relaxed);
-        let outcome = job.correlator.correlate(&job.window);
+    while let Some(job) = rx.recv() {
+        let outcome = run_contained(|| job.correlator.correlate(&job.window), &worker_panics);
+        // ordering: monotonic stat counter; no memory is published
+        // through it.
         decodes_run.fetch_add(1, Ordering::Relaxed);
         if done
             .send(Completion {
@@ -497,5 +602,55 @@ fn worker_loop(
             // Control side is gone; no one to report to.
             break;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contained_decode_passes_results_through() {
+        let panics = AtomicU64::new(0);
+        let ok = Correlation {
+            correlated: true,
+            hamming: Some(1),
+            best: None,
+            cost: 3,
+            matching_cost: 4,
+            completed: true,
+        };
+        let got = run_contained(|| ok.clone(), &panics);
+        assert!(got.correlated);
+        assert_eq!(got.hamming, Some(1));
+        // ordering: single-threaded test read.
+        assert_eq!(panics.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn contained_decode_maps_panic_to_failed_completion() {
+        // Silence the default hook for the intentional panic; restore
+        // it so other tests keep readable failure output.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let panics = AtomicU64::new(0);
+        let got = run_contained(|| panic!("decode bug"), &panics);
+        std::panic::set_hook(hook);
+        assert!(!got.correlated);
+        assert!(!got.completed);
+        assert_eq!(got.hamming, None);
+        assert_eq!(
+            // ordering: single-threaded test read.
+            panics.load(Ordering::Relaxed),
+            1,
+            "panic must be counted exactly once"
+        );
+        // A second contained panic keeps counting.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = run_contained(|| panic!("again"), &panics);
+        std::panic::set_hook(hook);
+        // ordering: single-threaded test read.
+        assert_eq!(panics.load(Ordering::Relaxed), 2);
     }
 }

@@ -62,6 +62,8 @@
 mod config;
 mod engine;
 mod ids;
+#[doc(hidden)]
+pub mod queue;
 mod stats;
 mod verdict;
 

@@ -1,0 +1,230 @@
+//! Bounded shard queues with depth and drop accounting.
+//!
+//! The engine's control thread pushes decode jobs at the sending side;
+//! one worker per shard drains the receiving side. All accounting
+//! invariants live here so they can be model-checked in isolation
+//! (`tests/loom_queue.rs`, behind `--cfg loom`):
+//!
+//! 1. the **depth gauge never underflows**: it is incremented *before*
+//!    a push attempt and decremented on failure (or after a pop), so
+//!    it is always ≥ the queue's true occupancy and never wraps — the
+//!    pre-extraction engine incremented *after* a successful
+//!    `try_send`, racing the worker's decrement and occasionally
+//!    wrapping the gauge to `usize::MAX`;
+//! 2. **no job is lost or duplicated**: `accepted = popped` once the
+//!    sender is dropped and the receiver drained;
+//! 3. **drop accuracy**: `attempts = accepted + dropped` at all times.
+//!
+//! This module is compiled against `loom`'s atomics under `--cfg loom`
+//! so the model tests drive the exact code the engine runs.
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// The producing half of a bounded shard queue. Owned by the engine's
+/// control side; never blocks unless [`push_blocking`] is chosen.
+///
+/// [`push_blocking`]: ShardSender::push_blocking
+#[derive(Debug)]
+pub struct ShardSender<T> {
+    tx: SyncSender<T>,
+    depth: Arc<AtomicUsize>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// The consuming half of a bounded shard queue. Moved into the shard's
+/// worker thread.
+#[derive(Debug)]
+pub struct ShardReceiver<T> {
+    rx: Receiver<T>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// Creates a bounded queue holding at most `capacity` unstarted jobs.
+pub fn shard_queue<T>(capacity: usize) -> (ShardSender<T>, ShardReceiver<T>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    let depth = Arc::new(AtomicUsize::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    (
+        ShardSender {
+            tx,
+            depth: Arc::clone(&depth),
+            dropped,
+        },
+        ShardReceiver { rx, depth },
+    )
+}
+
+impl<T> ShardSender<T> {
+    /// Attempts a non-blocking push. Returns `true` when the job was
+    /// accepted; on a full (or disconnected) queue the job is dropped
+    /// and counted, and the caller is expected to retry with fresher
+    /// data later.
+    pub fn try_push(&self, item: T) -> bool {
+        // Increment before the send so the gauge can never be observed
+        // below the queue's true occupancy (a post-send increment races
+        // the worker's decrement and can wrap the gauge below zero).
+        // The channel itself provides the job's happens-before edge.
+        // ordering: gauge is monotonic bookkeeping only; no memory is
+        // published through it.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(item) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                // ordering: undo of the optimistic increment above.
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                // ordering: monotonic stat counter, read only by stats
+                // snapshots.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Pushes `item`, spinning until the queue accepts it and calling
+    /// `pump` between attempts so the caller can keep draining
+    /// completions (a stalled queue plus an undrained completion stream
+    /// must not deadlock). Returns `false` — without consuming progress
+    /// guarantees — only if the receiving side is gone.
+    pub fn push_blocking(&self, item: T, mut pump: impl FnMut()) -> bool {
+        // ordering: see try_push — optimistic gauge increment.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let mut item = Some(item);
+        loop {
+            // lint: allow(no_panic) the Option is refilled on every Full rejection below
+            match self.tx.try_send(item.take().expect("item present")) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(rejected)) => {
+                    item = Some(rejected);
+                    pump();
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // ordering: undo of the optimistic increment above.
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    // ordering: monotonic stat counter.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Jobs currently queued (and, transiently, mid-push). An upper
+    /// bound on true occupancy; never negative.
+    pub fn depth(&self) -> usize {
+        // ordering: stat gauge read, no synchronization implied.
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Push attempts rejected so far (queue full or worker gone).
+    pub fn dropped(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A read-only handle to this queue's gauges that outlives the
+    /// sender — stats snapshots stay readable after shutdown drops the
+    /// sending side.
+    pub fn gauges(&self) -> ShardGauges {
+        ShardGauges {
+            depth: Arc::clone(&self.depth),
+            dropped: Arc::clone(&self.dropped),
+        }
+    }
+}
+
+/// Read-only view of one shard queue's depth gauge and drop counter.
+#[derive(Debug)]
+pub struct ShardGauges {
+    depth: Arc<AtomicUsize>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl ShardGauges {
+    /// Jobs currently queued. See [`ShardSender::depth`].
+    pub fn depth(&self) -> usize {
+        // ordering: stat gauge read, no synchronization implied.
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Push attempts rejected so far. See [`ShardSender::dropped`].
+    pub fn dropped(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> ShardReceiver<T> {
+    /// Blocks for the next job; `None` once every sender is dropped
+    /// and the queue is drained — the worker's shutdown signal.
+    pub fn recv(&self) -> Option<T> {
+        let item = self.rx.recv().ok()?;
+        // ordering: gauge decrement after the channel handed the job
+        // over; the channel itself orders the payload.
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(item)
+    }
+
+    /// The shared depth gauge, read from the consuming side. Useful for
+    /// asserting a drained queue after every sender is gone.
+    pub fn depth(&self) -> usize {
+        // ordering: stat gauge read, no synchronization implied.
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_capacity_then_drops() {
+        let (tx, rx) = shard_queue::<u32>(2);
+        assert!(tx.try_push(1));
+        assert!(tx.try_push(2));
+        assert!(!tx.try_push(3));
+        assert_eq!(tx.depth(), 2);
+        assert_eq!(tx.dropped(), 1);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(tx.depth(), 1);
+        assert!(tx.try_push(4));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(4));
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn push_blocking_waits_for_room_and_pumps() {
+        let (tx, mut rx) = shard_queue::<u32>(1);
+        assert!(tx.try_push(1));
+        let mut pumped = false;
+        std::thread::scope(|s| {
+            let rx = &mut rx;
+            s.spawn(move || {
+                // Give the blocking push a moment to start spinning.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                assert_eq!(rx.recv(), Some(1));
+            });
+            assert!(tx.push_blocking(2, || pumped = true));
+        });
+        assert!(pumped);
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn disconnected_receiver_counts_as_drop() {
+        let (tx, rx) = shard_queue::<u32>(1);
+        drop(rx);
+        assert!(!tx.try_push(1));
+        assert!(!tx.push_blocking(2, || {}));
+        assert_eq!(tx.dropped(), 2);
+        assert_eq!(tx.depth(), 0);
+    }
+}

@@ -31,6 +31,10 @@ pub struct MonitorStats {
     pub decodes_dropped: u64,
     /// Jobs sitting unstarted in each shard queue.
     pub queue_depths: Vec<usize>,
+    /// Decode panics caught in worker threads. Each panicking decode is
+    /// reported as a failed (non-correlating) completion so its pair
+    /// still resolves; nonzero means a correlator bug worth chasing.
+    pub worker_panics: u64,
     /// Verdict events emitted so far.
     pub verdicts_emitted: u64,
 }
@@ -54,8 +58,8 @@ impl fmt::Display for MonitorStats {
         )?;
         writeln!(
             f,
-            "decodes: {} scheduled, {} run, {} dropped (backpressure)",
-            self.decodes_scheduled, self.decodes_run, self.decodes_dropped
+            "decodes: {} scheduled, {} run, {} dropped (backpressure), {} panicked",
+            self.decodes_scheduled, self.decodes_run, self.decodes_dropped, self.worker_panics
         )?;
         write!(
             f,

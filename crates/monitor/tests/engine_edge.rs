@@ -1,0 +1,232 @@
+//! Shutdown and backpressure edge cases for the engine: a flush that
+//! starts with full shard queues, drop-count conservation, and
+//! degenerate (empty/undersized) inputs.
+
+use std::collections::BTreeMap;
+
+use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
+use stepstone_core::{Algorithm, WatermarkCorrelator};
+use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
+use stepstone_monitor::{FlowId, Monitor, MonitorConfig, PairId, UpstreamId, Verdict};
+use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+
+fn interactive(n: usize, seed: u64) -> Flow {
+    SessionGenerator::new(InteractiveProfile::ssh()).generate(
+        n,
+        Timestamp::ZERO,
+        &mut Seed::new(seed).rng(0),
+    )
+}
+
+fn attack(marked: &Flow, seed: u64) -> Flow {
+    AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(2)))
+        .then(ChaffInjector::new(ChaffModel::Poisson { rate: 0.5 }))
+        .apply(marked, Seed::new(seed))
+}
+
+/// A monitor with one registered upstream built from `n` packets.
+fn monitor_with_upstream(config: MonitorConfig, n: usize, seed: u64) -> (Monitor, Flow) {
+    let original = interactive(n, seed);
+    let marker = IpdWatermarker::new(WatermarkKey::new(seed ^ 0xABC), WatermarkParams::small());
+    let watermark = Watermark::random(8, &mut WatermarkKey::new(seed).rng(1));
+    let marked = marker.embed(&original, &watermark).unwrap();
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(2),
+        Algorithm::GreedyPlus,
+    );
+    let mut monitor = Monitor::new(config);
+    monitor.register_upstream(UpstreamId(0), correlator.bind(&original, &marked).unwrap());
+    (monitor, marked)
+}
+
+/// Asserts every `(upstream, flow)` pair got exactly one terminal
+/// verdict (`Correlated` or `Cleared`).
+fn assert_one_terminal_verdict_per_pair(verdicts: &[Verdict], expected_pairs: usize) {
+    let mut per_pair: BTreeMap<PairId, usize> = BTreeMap::new();
+    for v in verdicts {
+        if let Some(pair) = v.pair() {
+            *per_pair.entry(pair).or_default() += 1;
+        }
+    }
+    assert_eq!(
+        per_pair.len(),
+        expected_pairs,
+        "pair coverage mismatch: {per_pair:?}"
+    );
+    for (pair, count) in per_pair {
+        assert_eq!(count, 1, "pair {pair:?} got {count} terminal verdicts");
+    }
+}
+
+/// Shutdown with every decode still pending and room for only one job
+/// per shard: `decode_batch` is set above the stream length so ingest
+/// schedules nothing, then `finish` must flush one decode per pair
+/// through a single-slot queue via blocking pushes — without losing a
+/// pair, leaking a queue slot, or deadlocking on the completion stream.
+#[test]
+fn finish_flushes_every_pair_through_full_single_slot_queues() {
+    const FLOWS: usize = 8;
+    let (mut monitor, marked) = monitor_with_upstream(
+        MonitorConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(1)
+            .with_decode_batch(1_000_000),
+        200,
+        7,
+    );
+    for i in 0..FLOWS {
+        let flow = attack(&marked, 100 + i as u64);
+        for &p in flow.packets() {
+            monitor.ingest(FlowId(i as u64), p);
+        }
+    }
+    // Nothing ran during ingest: the whole workload lands on finish().
+    let before = monitor.stats();
+    assert_eq!(before.decodes_scheduled, 0, "{before}");
+    assert_eq!(before.pairs_active, FLOWS);
+
+    let report = monitor.finish();
+    assert_one_terminal_verdict_per_pair(&report.verdicts, FLOWS);
+    let stats = report.stats;
+    assert_eq!(
+        stats.decodes_scheduled, stats.decodes_run,
+        "every accepted flush job must complete: {stats}"
+    );
+    assert_eq!(stats.decodes_scheduled, FLOWS as u64);
+    assert_eq!(stats.queue_depths, vec![0, 0], "queues must drain: {stats}");
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.verdicts_emitted, report.verdicts.len() as u64);
+}
+
+/// Heavy backpressure: drops are counted, but accepted work is
+/// conserved — after `finish`, scheduled = run, the queues are empty,
+/// and no pair is left without a verdict.
+#[test]
+fn drop_accounting_is_conserved_under_backpressure() {
+    const FLOWS: usize = 6;
+    let (mut monitor, marked) = monitor_with_upstream(
+        MonitorConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(1)
+            .with_decode_batch(1),
+        200,
+        9,
+    );
+    let mut total_packets = 0u64;
+    for i in 0..FLOWS {
+        let flow = attack(&marked, 300 + i as u64);
+        total_packets += flow.len() as u64;
+        for &p in flow.packets() {
+            monitor.ingest(FlowId(i as u64), p);
+        }
+    }
+    let mid = monitor.stats();
+    assert!(mid.decodes_dropped > 0, "expected drops: {mid}");
+    assert_eq!(mid.packets_ingested, total_packets);
+
+    let report = monitor.finish();
+    assert_one_terminal_verdict_per_pair(&report.verdicts, FLOWS);
+    let stats = report.stats;
+    assert_eq!(stats.decodes_scheduled, stats.decodes_run, "{stats}");
+    assert_eq!(stats.queue_depths, vec![0], "{stats}");
+    // Drops never shrink across the flush (finish blocks, not drops).
+    assert!(stats.decodes_dropped >= mid.decodes_dropped);
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// `finish` on an engine that saw no packets (and one that saw no
+/// upstreams) returns an empty, internally consistent report.
+#[test]
+fn finish_on_idle_engines_is_empty_and_consistent() {
+    let report = Monitor::new(MonitorConfig::default()).finish();
+    assert!(report.verdicts.is_empty());
+    assert_eq!(report.stats.decodes_scheduled, 0);
+    assert_eq!(report.stats.queue_depths, vec![0]);
+
+    let (monitor, _) = monitor_with_upstream(MonitorConfig::default().with_shards(3), 150, 13);
+    let report = monitor.finish();
+    assert!(report.verdicts.is_empty(), "{:?}", report.verdicts);
+    assert_eq!(report.stats.queue_depths, vec![0, 0, 0]);
+
+    // No upstreams registered: flows are tracked but produce no pairs.
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    for i in 0..50 {
+        monitor.ingest(FlowId(1), Packet::new(Timestamp::from_secs(i), 64));
+    }
+    let report = monitor.finish();
+    assert!(report.verdicts.is_empty());
+    assert_eq!(report.stats.packets_ingested, 50);
+    assert_eq!(report.stats.pairs_active, 0);
+}
+
+/// A flow far shorter than the upstream can never host a complete
+/// matching; the engine must not decode it, yet its pair still
+/// resolves to `Cleared { decodes: 0 }` at shutdown.
+#[test]
+fn undersized_flow_clears_without_decoding() {
+    let (mut monitor, marked) =
+        monitor_with_upstream(MonitorConfig::default().with_decode_batch(1), 300, 17);
+    let short = attack(&marked, 23);
+    for &p in short.packets().iter().take(20) {
+        monitor.ingest(FlowId(0), p);
+    }
+    let report = monitor.finish();
+    assert_eq!(report.stats.decodes_scheduled, 0, "{}", report.stats);
+    let pair = PairId {
+        upstream: UpstreamId(0),
+        flow: FlowId(0),
+    };
+    assert!(
+        report.verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Cleared { pair: p, decodes: 0, .. } if *p == pair
+        )),
+        "expected an undecoded Cleared verdict: {:?}",
+        report.verdicts
+    );
+}
+
+/// Eviction racing an in-flight decode: the orphaned pair's completion
+/// still produces exactly one terminal verdict, and shutdown leaves no
+/// orphan behind.
+#[test]
+fn eviction_with_inflight_decode_still_resolves_the_pair() {
+    let (mut monitor, marked) = monitor_with_upstream(
+        MonitorConfig::default()
+            .with_idle_timeout(TimeDelta::from_secs(30))
+            .with_decode_batch(1),
+        200,
+        29,
+    );
+    let flow = attack(&marked, 31);
+    let mut last = Timestamp::ZERO;
+    for &p in flow.packets() {
+        monitor.ingest(FlowId(3), p);
+        last = p.timestamp();
+    }
+    // Evict immediately after ingest: a decode scheduled by the last
+    // packets is likely still in flight, exercising the orphan path.
+    let evicted = monitor.evict_idle(last + TimeDelta::from_secs(60));
+    assert_eq!(evicted, 1);
+    let report = monitor.finish();
+    let pair = PairId {
+        upstream: UpstreamId(0),
+        flow: FlowId(3),
+    };
+    assert_eq!(
+        report
+            .verdicts
+            .iter()
+            .filter(|v| v.pair() == Some(pair))
+            .count(),
+        1,
+        "exactly one terminal verdict for the evicted pair: {:?}",
+        report.verdicts
+    );
+    assert_eq!(report.stats.flows_evicted, 1);
+    assert_eq!(report.stats.decodes_scheduled, report.stats.decodes_run);
+}

@@ -1,0 +1,228 @@
+//! Concurrency model tests for the monitor shard queue, run with
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p stepstone-monitor --test loom_queue --release
+//! ```
+//!
+//! Under `--cfg loom` the queue module (`stepstone_monitor::queue`)
+//! compiles against `loom`'s atomics, so these models drive the exact
+//! accounting code the engine runs. With the vendored loom stand-in
+//! (see `vendor/loom/README.md`) each `loom::model` is a randomized
+//! stress run; with the real crate it is an exhaustive interleaving
+//! search. Either way the asserted invariants are the ones the engine
+//! relies on:
+//!
+//! * accepted pushes = popped jobs (nothing lost, nothing duplicated);
+//! * attempts = accepted + dropped (drop accounting is exact);
+//! * the depth gauge never underflows/wraps, and reads 0 once drained.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+use stepstone_monitor::queue::shard_queue;
+
+/// The depth gauge is optimistic (incremented before the push attempt),
+/// so with `p` concurrent pushers it may transiently read up to
+/// `capacity + p`; anything above that — in particular a value near
+/// `usize::MAX` — means the pre-extraction underflow bug is back.
+fn assert_depth_sane(depth: usize, capacity: usize, pushers: usize) {
+    assert!(
+        depth <= capacity + pushers,
+        "depth gauge {depth} exceeds capacity {capacity} + pushers {pushers} (wrapped?)"
+    );
+}
+
+#[test]
+fn push_drop_drain_accounting() {
+    const CAPACITY: usize = 2;
+    const PUSHES: usize = 8;
+    loom::model(|| {
+        let (tx, rx) = shard_queue::<usize>(CAPACITY);
+        let accepted = Arc::new(AtomicUsize::new(0));
+
+        let producer_accepted = Arc::clone(&accepted);
+        let producer = loom::thread::spawn(move || {
+            for i in 0..PUSHES {
+                if tx.try_push(i) {
+                    // ordering: test counter joined-before the asserts.
+                    producer_accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                assert_depth_sane(tx.depth(), CAPACITY, 1);
+            }
+            let dropped = tx.dropped();
+            drop(tx);
+            dropped
+        });
+
+        let consumer = loom::thread::spawn(move || {
+            let mut popped = 0usize;
+            while rx.recv().is_some() {
+                popped += 1;
+            }
+            (popped, rx)
+        });
+
+        let dropped = producer.join().expect("producer");
+        let (popped, rx) = consumer.join().expect("consumer");
+        // ordering: both threads joined; counter is quiescent.
+        let accepted = accepted.load(Ordering::Relaxed);
+        assert_eq!(accepted, popped, "accepted pushes must all be popped");
+        assert_eq!(
+            accepted as u64 + dropped,
+            PUSHES as u64,
+            "attempts must equal accepted + dropped"
+        );
+        assert_eq!(rx_depth(&rx), 0, "depth gauge must read 0 once drained");
+    });
+}
+
+#[test]
+fn multi_producer_accounting() {
+    const CAPACITY: usize = 1;
+    const PUSHES_EACH: usize = 4;
+    const PRODUCERS: usize = 2;
+    loom::model(|| {
+        let (tx, rx) = shard_queue::<usize>(CAPACITY);
+        let tx = Arc::new(tx);
+        let accepted = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = Arc::clone(&tx);
+                let accepted = Arc::clone(&accepted);
+                loom::thread::spawn(move || {
+                    for i in 0..PUSHES_EACH {
+                        if tx.try_push(p * PUSHES_EACH + i) {
+                            // ordering: test counter joined-before the asserts.
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        assert_depth_sane(tx.depth(), CAPACITY, PRODUCERS);
+                    }
+                })
+            })
+            .collect();
+
+        let consumer = loom::thread::spawn(move || {
+            let mut popped = 0usize;
+            while rx.recv().is_some() {
+                popped += 1;
+            }
+            (popped, rx)
+        });
+
+        for producer in producers {
+            producer.join().expect("producer");
+        }
+        let dropped = tx.dropped();
+        drop(tx);
+        let (popped, rx) = consumer.join().expect("consumer");
+        // ordering: all threads joined; counter is quiescent.
+        let accepted = accepted.load(Ordering::Relaxed);
+        assert_eq!(accepted, popped);
+        assert_eq!(accepted as u64 + dropped, (PRODUCERS * PUSHES_EACH) as u64);
+        assert_eq!(rx_depth(&rx), 0);
+    });
+}
+
+#[test]
+fn blocking_push_completes_and_balances() {
+    const CAPACITY: usize = 1;
+    const PUSHES: usize = 4;
+    loom::model(|| {
+        let (tx, rx) = shard_queue::<usize>(CAPACITY);
+
+        let producer = loom::thread::spawn(move || {
+            for i in 0..PUSHES {
+                assert!(
+                    tx.push_blocking(i, loom::thread::yield_now),
+                    "receiver alive: blocking push must succeed"
+                );
+            }
+            assert_eq!(
+                tx.dropped(),
+                0,
+                "blocking pushes never drop while the receiver lives"
+            );
+        });
+
+        let consumer = loom::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(i) = rx.recv() {
+                seen.push(i);
+            }
+            (seen, rx)
+        });
+
+        producer.join().expect("producer");
+        let (seen, rx) = consumer.join().expect("consumer");
+        assert_eq!(seen, (0..PUSHES).collect::<Vec<_>>(), "FIFO, nothing lost");
+        assert_eq!(rx_depth(&rx), 0);
+    });
+}
+
+#[test]
+fn shutdown_mid_stream_drains_cleanly() {
+    const CAPACITY: usize = 2;
+    loom::model(|| {
+        let (tx, rx) = shard_queue::<usize>(CAPACITY);
+        // Producer pushes a few jobs then hangs up mid-stream, like the
+        // engine dropping its senders at the start of shutdown.
+        let producer = loom::thread::spawn(move || {
+            let mut accepted = 0usize;
+            for i in 0..3 {
+                if tx.try_push(i) {
+                    accepted += 1;
+                }
+            }
+            accepted
+        });
+        let consumer = loom::thread::spawn(move || {
+            let mut popped = 0usize;
+            // recv returns None only once the channel is both
+            // disconnected and drained: accepted jobs survive shutdown.
+            while rx.recv().is_some() {
+                popped += 1;
+            }
+            (popped, rx)
+        });
+        let accepted = producer.join().expect("producer");
+        let (popped, rx) = consumer.join().expect("consumer");
+        assert_eq!(
+            accepted, popped,
+            "every accepted job is drained before shutdown"
+        );
+        assert_eq!(rx_depth(&rx), 0);
+    });
+}
+
+#[test]
+fn sender_sees_disconnect_after_receiver_drops() {
+    loom::model(|| {
+        let (tx, rx) = shard_queue::<usize>(1);
+        let dropper = loom::thread::spawn(move || drop(rx));
+        let mut disconnected = 0u64;
+        for i in 0..4 {
+            if !tx.try_push(i) {
+                disconnected += 1;
+            }
+        }
+        dropper.join().expect("dropper");
+        // Whatever the interleaving, accounting still balances.
+        assert_eq!(tx.dropped() >= disconnected, true);
+        assert!(
+            !tx.push_blocking(99, || {}),
+            "receiver gone: must report disconnect"
+        );
+    });
+}
+
+/// Reads the shared depth gauge through the receiver side.
+///
+/// The gauge is shared between both halves; reading it via a sender
+/// clone would keep the channel alive, so tests thread the receiver
+/// back out of the consumer and read through this helper.
+fn rx_depth<T>(rx: &stepstone_monitor::queue::ShardReceiver<T>) -> usize {
+    rx.depth()
+}

@@ -71,6 +71,7 @@ impl ChainBuilder {
         );
         self.hops
             .last_mut()
+            // lint: allow(no_panic) builder misuse (with_chaff before any hop); documented panic contract
             .expect("with_chaff must follow a hop")
             .chaff_rate = rate;
         self
@@ -207,6 +208,7 @@ impl ChainObservation {
     ///
     /// Panics if the chain had no hops (builder forbids this).
     pub fn last(&self) -> &Flow {
+        // lint: allow(no_panic) the builder refuses to construct a zero-hop chain
         self.flows.last().expect("chains have at least one hop")
     }
 

@@ -224,7 +224,9 @@ impl Empirical {
                 "empirical CDF probabilities must be strictly increasing"
             );
         }
+        // lint: allow(no_panic) the constructor asserts at least two CDF points before this
         let first = points.first().expect("length checked");
+        // lint: allow(no_panic) same length assertion covers last()
         let last = points.last().expect("length checked");
         assert!(
             (0.0..1.0).contains(&first.1),
@@ -253,6 +255,7 @@ impl Empirical {
                 return x0 + frac * (x1 - x0);
             }
         }
+        // lint: allow(no_panic) the constructor asserts a nonempty point list
         self.points.last().expect("nonempty").0
     }
 

@@ -127,6 +127,7 @@ impl SessionGenerator {
                 size,
                 Provenance::Payload(i as u32),
             ))
+            // lint: allow(no_panic) gaps sampled below are clamped non-negative, so timestamps never regress
             .expect("time only moves forward");
             // Decide the gap to the next packet.
             let gap_secs = if in_burst && rng.gen_bool(p.burst_continue) {

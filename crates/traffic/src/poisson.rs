@@ -93,6 +93,7 @@ impl PoissonProcess {
         let mut b = FlowBuilder::new();
         for t in self.arrivals(start, span, rng) {
             b.push(Packet::chaff(t, Self::CHAFF_SIZE))
+                // lint: allow(no_panic) arrivals() accumulates positive gaps, so times are sorted
                 .expect("arrivals are generated in order");
         }
         b.finish()

@@ -103,6 +103,7 @@ impl TelnetModel {
                 size,
                 Provenance::Payload(i as u32),
             ))
+            // lint: allow(no_panic) interarrival samples are clamped to a positive floor, so t is monotone
             .expect("time only moves forward");
             t += TimeDelta::from_secs_f64(self.interarrival.sample(rng).max(0.001));
         }

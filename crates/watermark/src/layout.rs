@@ -234,6 +234,7 @@ impl BitLayout {
             .flatten()
             .map(|p| p.second.max(p.first))
             .max()
+            // lint: allow(no_panic) layout derivation rejects zero-bit watermarks, so pairs exist
             .expect("layouts are never empty")
     }
 

@@ -1,0 +1,135 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! ```text
+//! cargo xtask lint [--format text|json] [--root DIR]
+//! ```
+//!
+//! `lint` runs the five invariant rules (see [`lint`] module docs and
+//! DESIGN.md §"Static analysis & invariants") over every Rust source
+//! file in the workspace. Exit codes: 0 clean, 1 findings, 2 usage or
+//! I/O error. There is deliberately no `--fix`: CI runs deny-by-default
+//! and violations are fixed (or justified inline) by hand.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod lint;
+mod report;
+mod workspace;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--format text|json] [--root DIR]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match default_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("could not locate the workspace root; pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let files = match workspace::workspace_files(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("failed to walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for (class, path) in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("failed to read {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        findings.extend(lint::lint_file(class, &src));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+
+    let rendered = match format {
+        Format::Text => report::text(&findings, scanned),
+        Format::Json => report::json(&findings, scanned),
+    };
+    print!("{rendered}");
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via
+/// `cargo xtask`, else the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]`.
+fn default_root() -> Option<PathBuf> {
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(&manifest_dir).join("../..");
+        if let Ok(canon) = candidate.canonicalize() {
+            return Some(canon);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

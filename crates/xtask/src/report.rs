@@ -1,0 +1,136 @@
+//! Finding output: human text and machine-readable JSON.
+//!
+//! The JSON schema is stable (`"schema": 1`) so CI tooling can parse
+//! it without tracking this crate's internals:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "files_scanned": 93,
+//!   "counts": {"no_panic": 0, ...},
+//!   "findings": [
+//!     {"rule": "no_panic", "path": "crates/flow/src/fifo.rs",
+//!      "line": 110, "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::lint::{Finding, RULES};
+
+/// Renders findings as `path:line: [rule] message` lines plus a
+/// summary, matching compiler-diagnostic conventions so editors can
+/// jump to them.
+pub fn text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "xtask lint: {} finding(s) across {} file(s) scanned\n",
+        findings.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// Renders findings as the schema-1 JSON document.
+pub fn json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = RULES.iter().map(|r| (*r, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let counts_json = counts
+        .iter()
+        .map(|(rule, n)| format!("{}: {}", quote(rule), n))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let findings_json = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                quote(f.rule),
+                quote(&f.path),
+                f.line,
+                quote(&f.message)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n  \"schema\": 1,\n  \"files_scanned\": {},\n  \"counts\": {{{}}},\n  \
+         \"findings\": [\n    {}\n  ]\n}}\n",
+        files_scanned,
+        counts_json,
+        if findings.is_empty() {
+            String::new()
+        } else {
+            findings_json
+        }
+    )
+}
+
+/// JSON string escaping (RFC 8259: quote, backslash, control chars).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "no_panic",
+            path: "crates/flow/src/fifo.rs".to_string(),
+            line: 110,
+            message: "`.unwrap()` with a \"quoted\" reason\tand tab".to_string(),
+        }]
+    }
+
+    #[test]
+    fn text_is_compiler_style() {
+        let t = text(&sample(), 3);
+        assert!(t.starts_with("crates/flow/src/fifo.rs:110: [no_panic]"));
+        assert!(t.contains("1 finding(s) across 3 file(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = json(&sample(), 3);
+        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"no_panic\": 1"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\\t"));
+        // Every rule appears in counts, even at zero.
+        for rule in RULES {
+            assert!(j.contains(&format!("\"{rule}\"")));
+        }
+    }
+
+    #[test]
+    fn empty_findings_is_valid_json_shape() {
+        let j = json(&[], 93);
+        assert!(j.contains("\"findings\": [\n    \n  ]"));
+    }
+}

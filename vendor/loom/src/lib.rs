@@ -1,0 +1,217 @@
+//! API-compatible stress-testing stand-in for the `loom` model
+//! checker. See README.md: real threads + randomized scheduling noise,
+//! not exhaustive interleaving search.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::AtomicU64 as StdSeed;
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Global seed source; every thread derives its scheduling RNG from it
+/// so each `model` iteration and each spawned thread observes a
+/// different interleaving.
+static SEED: StdSeed = StdSeed::new(0x9E37_79B9_7F4A_7C15);
+
+thread_local! {
+    static RNG: Cell<u64> = Cell::new(0);
+}
+
+fn next_rand() -> u64 {
+    RNG.with(|slot| {
+        let mut state = slot.get();
+        if state == 0 {
+            state = SEED.fetch_add(0x9E37_79B9_7F4A_7C15, StdOrdering::Relaxed) | 1;
+        }
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        slot.set(state);
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Injects a scheduling perturbation: ~1/4 of calls yield, ~1/32 spin
+/// for a short random burst.
+fn maybe_yield() {
+    let r = next_rand();
+    if r & 0b11 == 0 {
+        std::thread::yield_now();
+    } else if r & 0b1_1111 == 1 {
+        for _ in 0..(r >> 59) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs `f` repeatedly (`LOOM_ITERS` iterations, default 64), each
+/// time with fresh scheduling noise. Panics propagate to the caller on
+/// the iteration that failed.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: usize = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for _ in 0..iters {
+        RNG.with(|slot| slot.set(0));
+        f();
+    }
+}
+
+/// Thread utilities mirroring `loom::thread`.
+pub mod thread {
+    /// Spawns a real thread whose scheduling RNG is freshly seeded.
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::maybe_yield();
+            f()
+        })
+    }
+
+    /// Re-export of [`std::thread::yield_now`].
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+
+    /// Atomics that inject scheduling noise before every operation.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// Memory fence plus a scheduling perturbation.
+        pub fn fence(order: Ordering) {
+            crate::maybe_yield();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Noise-injecting wrapper around the std atomic.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic with the given value.
+                    pub fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load with scheduling noise.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store with scheduling noise.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        crate::maybe_yield();
+                        self.0.store(v, order)
+                    }
+
+                    /// Atomic add with scheduling noise.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic subtract with scheduling noise.
+                    pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.fetch_sub(v, order)
+                    }
+
+                    /// Atomic swap with scheduling noise.
+                    pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Atomic compare-exchange with scheduling noise.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        crate::maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Noise-injecting wrapper around `std::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic with the given value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load with scheduling noise.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Atomic store with scheduling noise.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order)
+            }
+
+            /// Atomic swap with scheduling noise.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_atomics_count() {
+        use crate::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::Arc;
+        crate::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    crate::thread::spawn(move || {
+                        for _ in 0..100 {
+                            // ordering: test counter, no publication
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+            // ordering: test counter, no publication
+            assert_eq!(n.load(Ordering::Relaxed), 200);
+        });
+    }
+}
