@@ -4,7 +4,8 @@
 //! repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart] <target>...
 //! targets: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!          figures (3–10)  synthetic (§4.2)  summary (§4.3)
-//!          future-loss future-repack (§6)  monitor (online engine)  all
+//!          future-loss future-repack (§6)  monitor (online engine)
+//!          pcap-export (wire fixture)  all
 //! ```
 
 #![forbid(unsafe_code)]
@@ -18,6 +19,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stepstone_experiments::{ablations, diagnostics, figures, live, ExperimentConfig, Scale};
+use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
 use stepstone_traffic::Seed;
 
@@ -34,8 +36,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
-             [--pairs N] [--decoys N] [--shards N] [--packets N] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor all";
+             [--pairs N] [--decoys N] [--shards N] [--packets N]
+             [--pcap FILE] [--replay fast|real|xN] <target>...
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all";
 
 struct Options {
     cfg: ExperimentConfig,
@@ -47,6 +50,10 @@ struct Options {
     decoys: Option<usize>,
     shards: Option<usize>,
     packets: Option<usize>,
+    /// `monitor` reads this capture instead of an in-memory stream.
+    pcap: Option<PathBuf>,
+    /// Pacing for `--pcap` replay.
+    replay: ReplayClock,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -59,6 +66,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut decoys = None;
     let mut shards = None;
     let mut packets = None;
+    let mut pcap = None;
+    let mut replay = ReplayClock::Fast;
     let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
             .ok_or(format!("{flag} needs a value"))?
@@ -88,6 +97,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--decoys" => decoys = Some(parse_count(&mut it, "--decoys")?),
             "--shards" => shards = Some(parse_count(&mut it, "--shards")?),
             "--packets" => packets = Some(parse_count(&mut it, "--packets")?),
+            "--pcap" => {
+                pcap = Some(PathBuf::from(it.next().ok_or("--pcap needs a file")?));
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a value")?;
+                replay = v.parse().map_err(|e| format!("{e}"))?;
+            }
             "--help" | "-h" => return Err("help requested".into()),
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -109,6 +125,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         decoys,
         shards,
         packets,
+        pcap,
+        replay,
     })
 }
 
@@ -150,25 +168,30 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
         "future-loss" => emit(&figures::future_loss(cfg), opts)?,
         "future-repack" => emit(&figures::future_repack(cfg), opts)?,
         "monitor" => {
-            let mut scenario = live::LiveScenario::from_config(cfg);
-            if let Some(n) = opts.pairs {
-                scenario.upstreams = n;
+            if let Some(path) = &opts.pcap {
+                // Wire mode: correlators come from the scale-independent
+                // wire scenario, packets from the capture file.
+                let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
+                let bytes =
+                    fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let report = live::replay_pcap(&scenario, &bytes, opts.replay)
+                    .map_err(|e| format!("monitor: {e}"))?;
+                println!("{report}");
+            } else {
+                let scenario = apply_overrides(live::LiveScenario::from_config(cfg), opts)?;
+                let report = live::replay(&scenario)
+                    .map_err(|e| format!("monitor: cannot build the scenario corpus: {e}"))?;
+                println!("{report}");
             }
-            if let Some(n) = opts.decoys {
-                scenario.decoys = n;
-            }
-            if let Some(n) = opts.shards {
-                if n == 0 {
-                    return Err("--shards must be at least 1".into());
-                }
-                scenario.shards = n;
-            }
-            if let Some(n) = opts.packets {
-                scenario.packets = n;
-            }
-            let report = live::replay(&scenario)
-                .map_err(|e| format!("monitor: cannot build the scenario corpus: {e}"))?;
-            println!("{report}");
+        }
+        "pcap-export" => {
+            let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
+            let bytes = live::export_pcap(&scenario).map_err(|e| format!("pcap-export: {e}"))?;
+            let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
+            let path = dir.join("sample.pcap");
+            fs::write(&path, &bytes)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {} ({} bytes)", path.display(), bytes.len());
         }
         "diagnostics" => {
             print!("{}", diagnostics::hamming_histograms(cfg));
@@ -200,6 +223,29 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
         other => return Err(format!("unknown target {other}")),
     }
     Ok(())
+}
+
+/// Applies the monitor sizing flags to a scenario.
+fn apply_overrides(
+    mut scenario: live::LiveScenario,
+    opts: &Options,
+) -> Result<live::LiveScenario, String> {
+    if let Some(n) = opts.pairs {
+        scenario.upstreams = n;
+    }
+    if let Some(n) = opts.decoys {
+        scenario.decoys = n;
+    }
+    if let Some(n) = opts.shards {
+        if n == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        scenario.shards = n;
+    }
+    if let Some(n) = opts.packets {
+        scenario.packets = n;
+    }
+    Ok(scenario)
 }
 
 fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {

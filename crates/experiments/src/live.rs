@@ -14,6 +14,9 @@ use std::time::{Duration, Instant};
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
 use stepstone_core::{Algorithm, WatermarkCorrelator};
 use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
+use stepstone_ingest::{
+    replay_capture, write_flows, FiveTuple, IngestError, ReplayClock, ReplayOutcome,
+};
 use stepstone_monitor::{FlowId, Monitor, MonitorConfig, MonitorStats, UpstreamId, Verdict};
 use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
 use stepstone_watermark::{
@@ -23,7 +26,7 @@ use stepstone_watermark::{
 use crate::config::{ExperimentConfig, Scale};
 
 /// One synthetic monitoring scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LiveScenario {
     /// Watermarked upstream flows; each has exactly one true attacked
     /// downstream flow in the stream.
@@ -72,10 +75,48 @@ impl LiveScenario {
         }
     }
 
+    /// A small scale-independent scenario for wire-format round-trips:
+    /// the same configuration (and therefore the same corpus and
+    /// correlators) regardless of `--scale`, so a capture exported with
+    /// [`export_pcap`] replays correctly against a monitor rebuilt from
+    /// the same [`ExperimentConfig::seed`] later — including the
+    /// checked-in `tests/data/sample.pcap` fixture.
+    pub fn wire(cfg: &ExperimentConfig) -> Self {
+        LiveScenario {
+            upstreams: 1,
+            decoys: 1,
+            packets: 220,
+            shards: 1,
+            decode_batch: 32,
+            seed: cfg.seed,
+            delta: TimeDelta::from_secs(1),
+            chaff: 0.5,
+            params: WatermarkParams::small(),
+        }
+    }
+
     /// Candidate pairs the monitor will track: every suspicious flow
     /// against every upstream.
     pub fn candidate_pairs(&self) -> usize {
         self.upstreams * (self.upstreams + self.decoys)
+    }
+
+    /// Total suspicious flows in the stream.
+    pub fn suspicious_flows(&self) -> usize {
+        self.upstreams + self.decoys
+    }
+
+    /// The transport 5-tuple carrying suspicious flow `id` on the wire:
+    /// a deterministic, injective mapping so exported captures
+    /// demultiplex back to the scenario's flow identities. UDP keeps
+    /// the minimum frame at 42 bytes, under both the generator's 64-
+    /// byte payload and 48-byte chaff sizes, so packet sizes survive
+    /// the round-trip exactly.
+    pub fn tuple_for(&self, id: FlowId) -> FiveTuple {
+        let low = (id.0 & 0xFF) as u8;
+        let high = ((id.0 >> 8) & 0xFF) as u8;
+        let port = 40_000 + (id.0 & 0xFFFF) as u16;
+        FiveTuple::udp_v4([10, 7, high, low], port, [192, 0, 2, 1], 22)
     }
 }
 
@@ -132,11 +173,21 @@ impl fmt::Display for LiveReport {
     }
 }
 
-/// Builds the scenario's corpus and replays it through a fresh monitor.
-///
-/// Fails when the scenario's flows are too short for the watermark
-/// layout (see [`WatermarkError::FlowTooShort`]).
-pub fn replay(scenario: &LiveScenario) -> Result<LiveReport, WatermarkError> {
+/// The scenario's derived corpus: a monitor with every upstream
+/// correlator registered, plus the suspicious flows (true downstreams
+/// first, then decoys) keyed by their scenario [`FlowId`].
+struct Corpus {
+    monitor: Monitor,
+    suspicious: Vec<(FlowId, Flow)>,
+}
+
+/// Synthesises the scenario's corpus: watermarked upstreams bound into
+/// a fresh monitor, and the attacked downstream + decoy flows that make
+/// up the suspicious stream. Everything derives from `scenario.seed`,
+/// so two calls with the same scenario build interchangeable corpora —
+/// the property [`replay_pcap`] relies on to rebuild correlators for a
+/// capture exported earlier.
+fn build_corpus(scenario: &LiveScenario) -> Result<Corpus, WatermarkError> {
     let attack = |flow: &Flow, seed: Seed| {
         AdversaryPipeline::new()
             .then(UniformPerturbation::new(scenario.delta))
@@ -179,6 +230,21 @@ pub fn replay(scenario: &LiveScenario) -> Result<LiveReport, WatermarkError> {
         let decoy = attack(&interactive(branch.child(0)), branch.child(1));
         suspicious.push((FlowId((scenario.upstreams + d) as u64), decoy));
     }
+    Ok(Corpus {
+        monitor,
+        suspicious,
+    })
+}
+
+/// Builds the scenario's corpus and replays it through a fresh monitor.
+///
+/// Fails when the scenario's flows are too short for the watermark
+/// layout (see [`WatermarkError::FlowTooShort`]).
+pub fn replay(scenario: &LiveScenario) -> Result<LiveReport, WatermarkError> {
+    let Corpus {
+        mut monitor,
+        suspicious,
+    } = build_corpus(scenario)?;
 
     // One time-ordered stream across all suspicious flows, as a tap on
     // the monitored link would deliver it.
@@ -217,6 +283,168 @@ pub fn replay(scenario: &LiveScenario) -> Result<LiveReport, WatermarkError> {
     })
 }
 
+/// What can go wrong on the wire-format path: corpus synthesis
+/// ([`WatermarkError`]) or capture parsing ([`IngestError`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LivePcapError {
+    /// The scenario's flows cannot carry the watermark.
+    Watermark(WatermarkError),
+    /// The capture bytes are not a valid pcap/pcapng file.
+    Ingest(IngestError),
+}
+
+impl fmt::Display for LivePcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LivePcapError::Watermark(e) => write!(f, "corpus synthesis failed: {e}"),
+            LivePcapError::Ingest(e) => write!(f, "capture ingestion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LivePcapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LivePcapError::Watermark(e) => Some(e),
+            LivePcapError::Ingest(e) => Some(e),
+        }
+    }
+}
+
+impl From<WatermarkError> for LivePcapError {
+    fn from(e: WatermarkError) -> Self {
+        LivePcapError::Watermark(e)
+    }
+}
+
+impl From<IngestError> for LivePcapError {
+    fn from(e: IngestError) -> Self {
+        LivePcapError::Ingest(e)
+    }
+}
+
+/// Renders the scenario's suspicious stream as classic-pcap bytes:
+/// each suspicious flow rides its [`LiveScenario::tuple_for`] 5-tuple,
+/// merged into one time-ordered capture.
+///
+/// The export is fully determined by the scenario, so a capture written
+/// today replays against a monitor rebuilt from the same scenario
+/// tomorrow — that is how the `tests/data/sample.pcap` fixture works.
+pub fn export_pcap(scenario: &LiveScenario) -> Result<Vec<u8>, LivePcapError> {
+    let corpus = build_corpus(scenario)?;
+    let tagged: Vec<(FiveTuple, &Flow)> = corpus
+        .suspicious
+        .iter()
+        .map(|(id, flow)| (scenario.tuple_for(*id), flow))
+        .collect();
+    let mut bytes = Vec::new();
+    write_flows(&mut bytes, &tagged)?;
+    Ok(bytes)
+}
+
+/// The outcome of replaying a capture through the monitor.
+#[derive(Debug)]
+pub struct PcapReport {
+    /// The scenario whose correlators judged the capture.
+    pub scenario: LiveScenario,
+    /// The pacing used.
+    pub clock: ReplayClock,
+    /// Demux/monitor/verdict details from the ingest pipeline.
+    pub outcome: ReplayOutcome,
+    /// True (upstream `i`, downstream `i`) pairs detected.
+    pub true_positives: usize,
+    /// Correlated verdicts on pairs that are not true pairs.
+    pub false_positives: usize,
+    /// True pairs the monitor failed to detect.
+    pub missed: usize,
+}
+
+impl PcapReport {
+    /// Replay throughput in packets per second (meaningful for
+    /// [`ReplayClock::Fast`]; paced replays track the capture clock).
+    pub fn packets_per_sec(&self) -> f64 {
+        self.outcome.events as f64 / self.outcome.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+impl fmt::Display for PcapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.scenario;
+        let o = &self.outcome;
+        writeln!(
+            f,
+            "pcap replay:    {} flows demuxed from {} packets ({} ignored, {} clamped), clock {}",
+            o.demux_stats.flows_opened,
+            o.demux_stats.packets,
+            o.demux_stats.ignored,
+            o.demux_stats.clamped,
+            self.clock
+        )?;
+        writeln!(
+            f,
+            "throughput:     {} events in {:.3} s = {:.0} packets/sec",
+            o.events,
+            o.elapsed.as_secs_f64(),
+            self.packets_per_sec()
+        )?;
+        writeln!(
+            f,
+            "detection:      {}/{} true pairs, {} false positives, {} missed",
+            self.true_positives, s.upstreams, self.false_positives, self.missed
+        )?;
+        write!(f, "{}", o.monitor_stats)
+    }
+}
+
+/// Replays pcap/pcapng bytes through a monitor rebuilt from
+/// `scenario`, attributing verdicts back to scenario flow identities
+/// via the 5-tuple mapping.
+///
+/// Flows in the capture that do not carry a [`LiveScenario::tuple_for`]
+/// tuple are still streamed to the monitor (as extra suspicious flows),
+/// they just cannot count as true positives.
+pub fn replay_pcap(
+    scenario: &LiveScenario,
+    bytes: &[u8],
+    clock: ReplayClock,
+) -> Result<PcapReport, LivePcapError> {
+    let corpus = build_corpus(scenario)?;
+    let outcome = replay_capture(bytes, corpus.monitor, clock, None)?;
+
+    // The demux numbers flows in first-seen order, which need not match
+    // the scenario's ids; translate through the injective tuple map.
+    let scenario_id = |demux_id: FlowId| -> Option<FlowId> {
+        let tuple = outcome
+            .flows
+            .iter()
+            .find(|f| f.id == demux_id)
+            .map(|f| f.tuple)?;
+        (0..scenario.suspicious_flows() as u64)
+            .map(FlowId)
+            .find(|id| scenario.tuple_for(*id) == tuple)
+    };
+    let mut true_positives = 0;
+    let mut false_positives = 0;
+    for v in &outcome.verdicts {
+        if let Verdict::Correlated { pair, .. } = v {
+            if scenario_id(pair.flow).is_some_and(|id| id.0 == pair.upstream.0) {
+                true_positives += 1;
+            } else {
+                false_positives += 1;
+            }
+        }
+    }
+    Ok(PcapReport {
+        scenario: scenario.clone(),
+        clock,
+        outcome,
+        true_positives,
+        false_positives,
+        missed: scenario.upstreams - true_positives,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +459,39 @@ mod tests {
         assert!(report.packets_per_sec() > 0.0);
         let rendered = report.to_string();
         assert!(rendered.contains("packets/sec"), "{rendered}");
+    }
+
+    #[test]
+    fn wire_scenario_round_trips_through_pcap() {
+        let cfg = ExperimentConfig::new(Scale::Quick);
+        let scenario = LiveScenario::wire(&cfg);
+        let bytes = export_pcap(&scenario).expect("wire flows carry the small watermark");
+        let report = replay_pcap(&scenario, &bytes, ReplayClock::Fast).expect("capture replays");
+        assert_eq!(report.true_positives, 1);
+        assert_eq!(report.false_positives, 0);
+        assert_eq!(report.missed, 0);
+        assert_eq!(report.outcome.demux_stats.flows_opened, 2);
+        assert_eq!(report.outcome.rejected, 0);
+        let rendered = report.to_string();
+        assert!(rendered.contains("pcap replay"), "{rendered}");
+    }
+
+    #[test]
+    fn wire_scenario_is_scale_independent() {
+        let quick = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let full = LiveScenario::wire(&ExperimentConfig::new(Scale::Full));
+        assert_eq!(quick, full);
+    }
+
+    #[test]
+    fn tuple_mapping_is_injective_over_the_stream() {
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let tuples: Vec<_> = (0..scenario.suspicious_flows() as u64)
+            .map(|i| scenario.tuple_for(FlowId(i)))
+            .collect();
+        let mut dedup = tuples.clone();
+        dedup.sort_by_key(|t| (t.src_port, t.src));
+        dedup.dedup();
+        assert_eq!(dedup.len(), tuples.len());
     }
 }

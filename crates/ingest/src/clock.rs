@@ -1,0 +1,198 @@
+//! Replay pacing: maps capture timestamps onto wall-clock time.
+//!
+//! A capture carries its own timeline. When replaying it into the
+//! monitor we can honour that timeline ([`ReplayClock::Real`]), stretch
+//! or compress it ([`ReplayClock::Scaled`]), or ignore it entirely and
+//! push packets as fast as the engine accepts them
+//! ([`ReplayClock::Fast`]).
+
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+use stepstone_flow::Timestamp;
+
+/// How capture time maps onto wall-clock time during replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayClock {
+    /// No pacing: deliver packets as fast as possible.
+    Fast,
+    /// One capture second per wall-clock second.
+    Real,
+    /// `Scaled(4.0)` replays four capture seconds per wall second;
+    /// `Scaled(0.5)` replays at half speed.
+    Scaled(f64),
+}
+
+impl ReplayClock {
+    /// Capture-seconds advanced per wall-clock second, `None` for
+    /// unpaced replay.
+    #[must_use]
+    pub fn speedup(self) -> Option<f64> {
+        match self {
+            ReplayClock::Fast => None,
+            ReplayClock::Real => Some(1.0),
+            ReplayClock::Scaled(x) => Some(x),
+        }
+    }
+
+    /// Starts a pacer anchored at `origin` on the capture timeline.
+    #[must_use]
+    pub fn pacer(self, origin: Timestamp) -> Pacer {
+        Pacer {
+            speedup: self.speedup(),
+            origin,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Parse error for [`ReplayClock`] command-line values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReplayClockError(String);
+
+impl std::fmt::Display for ParseReplayClockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid replay clock {:?}: expected \"fast\", \"real\", or \"xN\" (e.g. \"x10\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseReplayClockError {}
+
+impl FromStr for ReplayClock {
+    type Err = ParseReplayClockError;
+
+    /// Accepts `fast`, `real`, or `xN` where `N` is a positive factor
+    /// (`x10`, `x0.25`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(ReplayClock::Fast),
+            "real" => Ok(ReplayClock::Real),
+            _ => {
+                let factor = s
+                    .strip_prefix('x')
+                    .and_then(|n| n.parse::<f64>().ok())
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| ParseReplayClockError(s.to_string()))?;
+                Ok(ReplayClock::Scaled(factor))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayClock::Fast => write!(f, "fast"),
+            ReplayClock::Real => write!(f, "real"),
+            ReplayClock::Scaled(x) => write!(f, "x{x}"),
+        }
+    }
+}
+
+/// Sleeps replay forward so capture time never runs ahead of scaled
+/// wall-clock time.
+#[derive(Debug)]
+pub struct Pacer {
+    speedup: Option<f64>,
+    origin: Timestamp,
+    started: Instant,
+}
+
+impl Pacer {
+    /// Blocks until the wall clock has caught up with `next` on the
+    /// capture timeline. Unpaced ([`ReplayClock::Fast`]) returns
+    /// immediately.
+    pub fn wait_until(&self, next: Timestamp) {
+        if let Some(wait) = self.wait_for(next, Instant::now()) {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// The remaining wall-clock wait before `next` is due, or `None`
+    /// when it is already due (or pacing is off). Split from
+    /// [`Pacer::wait_until`] so tests can probe the schedule without
+    /// sleeping.
+    fn wait_for(&self, next: Timestamp, now: Instant) -> Option<Duration> {
+        let speedup = self.speedup?;
+        let capture_elapsed = (next - self.origin).as_micros().max(0) as f64;
+        let due_micros = capture_elapsed / speedup;
+        let wall_elapsed = now.duration_since(self.started).as_secs_f64() * 1e6;
+        let remaining = due_micros - wall_elapsed;
+        if remaining >= 1.0 {
+            Some(Duration::from_micros(remaining as u64))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_modes() {
+        assert_eq!("fast".parse::<ReplayClock>().unwrap(), ReplayClock::Fast);
+        assert_eq!("real".parse::<ReplayClock>().unwrap(), ReplayClock::Real);
+        assert_eq!(
+            "x10".parse::<ReplayClock>().unwrap(),
+            ReplayClock::Scaled(10.0)
+        );
+        assert_eq!(
+            "x0.25".parse::<ReplayClock>().unwrap(),
+            ReplayClock::Scaled(0.25)
+        );
+        for bad in ["", "slow", "x", "x0", "x-3", "xNaN", "xinf", "10"] {
+            assert!(bad.parse::<ReplayClock>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for mode in [
+            ReplayClock::Fast,
+            ReplayClock::Real,
+            ReplayClock::Scaled(2.5),
+        ] {
+            let shown = mode.to_string();
+            assert_eq!(shown.parse::<ReplayClock>().unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn fast_mode_never_waits() {
+        let pacer = ReplayClock::Fast.pacer(Timestamp::from_secs(0));
+        assert_eq!(
+            pacer.wait_for(Timestamp::from_secs(3600), Instant::now()),
+            None
+        );
+    }
+
+    #[test]
+    fn scaled_mode_schedules_proportionally() {
+        let pacer = ReplayClock::Scaled(10.0).pacer(Timestamp::from_secs(0));
+        let now = pacer.started;
+        // 10 capture-seconds at 10x = 1 wall second.
+        let wait = pacer.wait_for(Timestamp::from_secs(10), now).unwrap();
+        let millis = wait.as_millis();
+        assert!((950..=1050).contains(&millis), "waited {millis} ms");
+        // Packets before the origin are due immediately.
+        assert_eq!(pacer.wait_for(Timestamp::from_secs(-5), now), None);
+    }
+
+    #[test]
+    fn real_mode_catches_up_without_waiting_for_past_packets() {
+        let pacer = ReplayClock::Real.pacer(Timestamp::from_secs(100));
+        let late = pacer.started + Duration::from_secs(5);
+        // Capture t=102s is already 3 wall-seconds overdue at wall t=5s.
+        assert_eq!(pacer.wait_for(Timestamp::from_secs(102), late), None);
+        // Capture t=107s is 2 seconds away.
+        let wait = pacer.wait_for(Timestamp::from_secs(107), late).unwrap();
+        let millis = wait.as_millis();
+        assert!((1950..=2050).contains(&millis), "waited {millis} ms");
+    }
+}

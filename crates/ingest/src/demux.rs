@@ -1,0 +1,300 @@
+//! 5-tuple flow demultiplexing: groups [`CaptureRecord`]s into
+//! per-flow packet streams with idle-timeout eviction.
+//!
+//! The demux serves both consumption styles in the workspace:
+//!
+//! * **batch** — [`FlowDemux::finish`] returns every completed
+//!   [`DemuxFlow`], ready for the offline correlators;
+//! * **incremental** — [`FlowDemux::push`] returns the `(FlowId,
+//!   Packet)` event for the record just seen, which callers forward
+//!   straight into `stepstone_monitor::Monitor::ingest`.
+
+use std::collections::HashMap;
+
+use stepstone_flow::{Flow, FlowBuilder, Packet, TimeDelta, Timestamp};
+use stepstone_monitor::FlowId;
+
+use crate::capture::CaptureRecord;
+use crate::link::FiveTuple;
+
+/// A completed flow together with the identity the demux assigned it.
+#[derive(Debug, Clone)]
+pub struct DemuxFlow {
+    /// Identifier assigned in first-seen order, shared with the events
+    /// returned from [`FlowDemux::push`].
+    pub id: FlowId,
+    /// The transport 5-tuple all of the flow's packets share.
+    pub tuple: FiveTuple,
+    /// The reassembled packet timing sequence.
+    pub flow: Flow,
+}
+
+/// Counters describing everything the demux saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemuxStats {
+    /// Records mapped to a flow.
+    pub packets: u64,
+    /// Records without a usable 5-tuple (ARP, ICMP, fragments, …).
+    pub ignored: u64,
+    /// Packets whose timestamp ran backwards relative to their flow and
+    /// were clamped forward to keep the `Flow` invariant.
+    pub clamped: u64,
+    /// Flows ever opened.
+    pub flows_opened: u64,
+    /// Flows closed by the idle-timeout sweep.
+    pub flows_evicted: u64,
+}
+
+/// One live flow being assembled.
+#[derive(Debug)]
+struct Slot {
+    id: FlowId,
+    builder: FlowBuilder,
+    last_seen: Timestamp,
+}
+
+/// Groups capture records into flows keyed by transport 5-tuple.
+#[derive(Debug)]
+pub struct FlowDemux {
+    live: HashMap<FiveTuple, Slot>,
+    evicted: Vec<DemuxFlow>,
+    idle_timeout: Option<TimeDelta>,
+    next_id: u64,
+    stats: DemuxStats,
+}
+
+impl FlowDemux {
+    /// A demux that keeps every flow open until [`FlowDemux::finish`].
+    #[must_use]
+    pub fn new() -> Self {
+        FlowDemux {
+            live: HashMap::new(),
+            evicted: Vec::new(),
+            idle_timeout: None,
+            next_id: 0,
+            stats: DemuxStats::default(),
+        }
+    }
+
+    /// A demux that closes flows idle for longer than `timeout` during
+    /// [`FlowDemux::sweep_idle`].
+    #[must_use]
+    pub fn with_idle_timeout(timeout: TimeDelta) -> Self {
+        let mut demux = FlowDemux::new();
+        demux.idle_timeout = Some(timeout);
+        demux
+    }
+
+    /// Routes one capture record to its flow.
+    ///
+    /// Returns the `(flow, packet)` ingest event when the record maps
+    /// to a transport flow, `None` when the record carries no 5-tuple.
+    /// Timestamps that run backwards within a flow are clamped to the
+    /// flow's last timestamp (and counted) so the non-decreasing `Flow`
+    /// invariant always holds.
+    pub fn push(&mut self, record: &CaptureRecord) -> Option<(FlowId, Packet)> {
+        let Some(tuple) = record.tuple else {
+            self.stats.ignored += 1;
+            return None;
+        };
+        let slot = self.live.entry(tuple).or_insert_with(|| {
+            let id = FlowId(self.next_id);
+            self.next_id += 1;
+            self.stats.flows_opened += 1;
+            Slot {
+                id,
+                builder: FlowBuilder::new(),
+                last_seen: record.timestamp,
+            }
+        });
+        let mut ts = record.timestamp;
+        if ts < slot.last_seen {
+            ts = slot.last_seen;
+            self.stats.clamped += 1;
+        }
+        slot.last_seen = ts;
+        let packet = Packet::new(ts, record.wire_len);
+        // Infallible: ts was clamped to be non-decreasing above.
+        if slot.builder.push(packet).is_err() {
+            return None;
+        }
+        self.stats.packets += 1;
+        Some((slot.id, packet))
+    }
+
+    /// Closes flows whose last packet is older than `now - timeout`.
+    ///
+    /// Returns the ids of the flows just closed (their assembled flows
+    /// move to the evicted list, readable via [`FlowDemux::drain_evicted`]).
+    /// No-op for a demux built without a timeout.
+    pub fn sweep_idle(&mut self, now: Timestamp) -> Vec<FlowId> {
+        let Some(timeout) = self.idle_timeout else {
+            return Vec::new();
+        };
+        let cutoff = now - timeout;
+        let expired: Vec<FiveTuple> = self
+            .live
+            .iter()
+            .filter(|(_, slot)| slot.last_seen < cutoff)
+            .map(|(tuple, _)| *tuple)
+            .collect();
+        let mut closed = Vec::with_capacity(expired.len());
+        for tuple in expired {
+            if let Some(slot) = self.live.remove(&tuple) {
+                closed.push(slot.id);
+                self.stats.flows_evicted += 1;
+                self.evicted.push(DemuxFlow {
+                    id: slot.id,
+                    tuple,
+                    flow: slot.builder.finish(),
+                });
+            }
+        }
+        // Deterministic order regardless of hash-map iteration.
+        closed.sort_unstable_by_key(|id| id.0);
+        self.evicted.sort_by_key(|f| f.id.0);
+        closed
+    }
+
+    /// Takes the flows closed by eviction sweeps so far.
+    pub fn drain_evicted(&mut self) -> Vec<DemuxFlow> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Number of flows currently being assembled.
+    #[must_use]
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> DemuxStats {
+        self.stats
+    }
+
+    /// Closes every remaining flow and returns all completed flows —
+    /// previously evicted ones included — sorted by [`FlowId`].
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<DemuxFlow>, DemuxStats) {
+        let mut flows = std::mem::take(&mut self.evicted);
+        for (tuple, slot) in self.live.drain() {
+            flows.push(DemuxFlow {
+                id: slot.id,
+                tuple,
+                flow: slot.builder.finish(),
+            });
+        }
+        flows.sort_by_key(|f| f.id.0);
+        (flows, self.stats)
+    }
+}
+
+impl Default for FlowDemux {
+    fn default() -> Self {
+        FlowDemux::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tuple: FiveTuple, millis: i64, size: u32) -> CaptureRecord {
+        CaptureRecord {
+            timestamp: Timestamp::from_millis(millis),
+            wire_len: size,
+            tuple: Some(tuple),
+        }
+    }
+
+    fn tuples() -> (FiveTuple, FiveTuple) {
+        (
+            FiveTuple::tcp_v4([10, 0, 0, 1], 1000, [10, 0, 0, 9], 22),
+            FiveTuple::udp_v4([10, 0, 0, 2], 2000, [10, 0, 0, 9], 53),
+        )
+    }
+
+    #[test]
+    fn assigns_flow_ids_in_first_seen_order() {
+        let (a, b) = tuples();
+        let mut demux = FlowDemux::new();
+        let (id_a, pkt) = demux.push(&record(a, 1, 64)).unwrap();
+        assert_eq!(id_a, FlowId(0));
+        assert_eq!(pkt.size(), 64);
+        let (id_b, _) = demux.push(&record(b, 2, 48)).unwrap();
+        assert_eq!(id_b, FlowId(1));
+        let (again, _) = demux.push(&record(a, 3, 64)).unwrap();
+        assert_eq!(again, FlowId(0));
+
+        let (flows, stats) = demux.finish();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].id, FlowId(0));
+        assert_eq!(flows[0].tuple, a);
+        assert_eq!(flows[0].flow.len(), 2);
+        assert_eq!(flows[1].flow.len(), 1);
+        assert_eq!(stats.packets, 3);
+        assert_eq!(stats.flows_opened, 2);
+    }
+
+    #[test]
+    fn tupleless_records_are_counted_not_flowed() {
+        let mut demux = FlowDemux::new();
+        let none = CaptureRecord {
+            timestamp: Timestamp::from_millis(1),
+            wire_len: 60,
+            tuple: None,
+        };
+        assert!(demux.push(&none).is_none());
+        let (flows, stats) = demux.finish();
+        assert!(flows.is_empty());
+        assert_eq!(stats.ignored, 1);
+        assert_eq!(stats.packets, 0);
+    }
+
+    #[test]
+    fn backwards_timestamps_are_clamped() {
+        let (a, _) = tuples();
+        let mut demux = FlowDemux::new();
+        demux.push(&record(a, 10, 64)).unwrap();
+        let (_, pkt) = demux.push(&record(a, 5, 64)).unwrap();
+        assert_eq!(pkt.timestamp(), Timestamp::from_millis(10));
+        let (flows, stats) = demux.finish();
+        assert_eq!(stats.clamped, 1);
+        assert_eq!(flows[0].flow.len(), 2);
+    }
+
+    #[test]
+    fn idle_sweep_evicts_only_stale_flows() {
+        let (a, b) = tuples();
+        let mut demux = FlowDemux::with_idle_timeout(TimeDelta::from_secs(30));
+        demux.push(&record(a, 0, 64)).unwrap();
+        demux.push(&record(b, 25_000, 64)).unwrap();
+
+        // At t=40s only flow a (idle 40s) is past the 30s timeout.
+        let closed = demux.sweep_idle(Timestamp::from_secs(40));
+        assert_eq!(closed, vec![FlowId(0)]);
+        assert_eq!(demux.live_flows(), 1);
+        let evicted = demux.drain_evicted();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tuple, a);
+
+        // A new packet on the same tuple opens a new flow id.
+        let (reopened, _) = demux.push(&record(a, 50_000, 64)).unwrap();
+        assert_eq!(reopened, FlowId(2));
+
+        let (flows, stats) = demux.finish();
+        assert_eq!(flows.len(), 2); // b + reopened a
+        assert_eq!(stats.flows_opened, 3);
+        assert_eq!(stats.flows_evicted, 1);
+    }
+
+    #[test]
+    fn sweep_without_timeout_is_a_noop() {
+        let (a, _) = tuples();
+        let mut demux = FlowDemux::new();
+        demux.push(&record(a, 0, 64)).unwrap();
+        assert!(demux.sweep_idle(Timestamp::from_secs(3600)).is_empty());
+        assert_eq!(demux.live_flows(), 1);
+    }
+}

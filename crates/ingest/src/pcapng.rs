@@ -1,0 +1,446 @@
+//! pcapng (pcap next generation) reading: Section Header, Interface
+//! Description, and Enhanced Packet blocks, with per-interface
+//! timestamp resolution (`if_tsresol`).
+//!
+//! Everything else — statistics, name resolution, custom blocks — is
+//! structurally validated and skipped. Multiple sections per file are
+//! supported; each section carries its own byte order.
+
+use stepstone_flow::Timestamp;
+
+use crate::capture::CaptureRecord;
+use crate::cursor::{Cursor, Endian};
+use crate::error::IngestError;
+use crate::link::{decode_frame, LinkType};
+
+/// Block type of the Section Header Block; also the pcapng file magic.
+const SHB_TYPE: u32 = 0x0A0D_0D0A;
+/// Byte-order magic inside the SHB body.
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+/// Interface Description Block.
+const IDB_TYPE: u32 = 0x0000_0001;
+/// Enhanced Packet Block.
+const EPB_TYPE: u32 = 0x0000_0006;
+/// The `if_tsresol` option code in an IDB.
+const OPT_IF_TSRESOL: u16 = 9;
+/// End-of-options option code.
+const OPT_END: u16 = 0;
+
+/// One declared capture interface.
+#[derive(Debug, Clone, Copy)]
+struct Interface {
+    link: LinkType,
+    /// Timestamp units per second, from `if_tsresol` (default 10⁻⁶).
+    ticks_per_sec: u64,
+}
+
+/// Pull-parser over a pcapng byte buffer.
+#[derive(Debug)]
+pub(crate) struct PcapNgParser<'a> {
+    cur: Cursor<'a>,
+    endian: Endian,
+    interfaces: Vec<Interface>,
+}
+
+impl<'a> PcapNgParser<'a> {
+    /// Parses the leading Section Header Block.
+    pub(crate) fn new(bytes: &'a [u8]) -> Result<Self, IngestError> {
+        let mut parser = PcapNgParser {
+            cur: Cursor::new(bytes),
+            endian: Endian::Little,
+            interfaces: Vec::new(),
+        };
+        let first = parser.cur.u32(Endian::Little, "pcapng block type")?;
+        if first != SHB_TYPE {
+            return Err(IngestError::BadMagic);
+        }
+        parser.enter_section()?;
+        Ok(parser)
+    }
+
+    /// Consumes the rest of an SHB after its type field, learning the
+    /// section's byte order and resetting the interface table.
+    fn enter_section(&mut self) -> Result<(), IngestError> {
+        let offset = self.cur.offset();
+        // Total length is byte-order dependent, but we can't know the
+        // order until the byte-order magic four bytes later — read the
+        // magic first, then interpret the length.
+        let raw_len = self.cur.take(4, "pcapng SHB length")?;
+        let magic = self.cur.u32(Endian::Little, "pcapng byte-order magic")?;
+        self.endian = if magic == BYTE_ORDER_MAGIC {
+            Endian::Little
+        } else if magic == BYTE_ORDER_MAGIC.swap_bytes() {
+            Endian::Big
+        } else {
+            return Err(IngestError::Malformed {
+                offset,
+                reason: "bad byte-order magic in section header".to_string(),
+            });
+        };
+        let arr = [raw_len[0], raw_len[1], raw_len[2], raw_len[3]];
+        let total_len = match self.endian {
+            Endian::Little => u32::from_le_bytes(arr),
+            Endian::Big => u32::from_be_bytes(arr),
+        };
+        // type (4) + len (4) + magic (4) consumed; trailer len (4) at
+        // the end still to skip.
+        let body_and_trailer = checked_block_rest(total_len, 12, offset)?;
+        self.cur.skip(body_and_trailer, "pcapng SHB body")?;
+        self.interfaces.clear();
+        Ok(())
+    }
+
+    /// Parses blocks until the next packet, `None` at clean EOF.
+    pub(crate) fn next_record(&mut self) -> Option<Result<CaptureRecord, IngestError>> {
+        loop {
+            if self.cur.is_empty() {
+                return None;
+            }
+            match self.next_block() {
+                Ok(Some(record)) => return Some(Ok(record)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+
+    fn next_block(&mut self) -> Result<Option<CaptureRecord>, IngestError> {
+        let offset = self.cur.offset();
+        let block_type = self.cur.u32(self.endian, "pcapng block type")?;
+        if block_type == SHB_TYPE {
+            self.enter_section()?;
+            return Ok(None);
+        }
+        let total_len = self.cur.u32(self.endian, "pcapng block length")?;
+        let body_len = checked_block_rest(total_len, 12, offset)?;
+        let body = self.cur.take(body_len, "pcapng block body")?;
+        let trailer = self.cur.u32(self.endian, "pcapng block trailer")?;
+        if trailer != total_len {
+            return Err(IngestError::Malformed {
+                offset,
+                reason: format!("block length {total_len} != trailing length {trailer}"),
+            });
+        }
+        match block_type {
+            IDB_TYPE => {
+                self.parse_idb(body, offset)?;
+                Ok(None)
+            }
+            EPB_TYPE => self.parse_epb(body, offset).map(Some),
+            // Anything else (statistics, name resolution, simple packet
+            // blocks without timestamps, custom) is skipped whole.
+            _ => Ok(None),
+        }
+    }
+
+    fn parse_idb(&mut self, body: &[u8], offset: usize) -> Result<(), IngestError> {
+        let mut cur = Cursor::new(body);
+        let link = LinkType::from_wire(u32::from(cur.u16(self.endian, "IDB linktype")?))?;
+        cur.u16(self.endian, "IDB reserved")?;
+        cur.u32(self.endian, "IDB snaplen")?;
+        let mut ticks_per_sec: u64 = 1_000_000;
+        // Options: (code u16, len u16, value padded to 4 bytes)*.
+        while cur.remaining() >= 4 {
+            let code = cur.u16(self.endian, "IDB option code")?;
+            let len = usize::from(cur.u16(self.endian, "IDB option length")?);
+            if code == OPT_END {
+                break;
+            }
+            let value = cur.take(len, "IDB option value")?;
+            cur.skip(padding_to_4(len), "IDB option padding")?;
+            if code == OPT_IF_TSRESOL && len == 1 {
+                let raw = value[0];
+                let power = u32::from(raw & 0x7F);
+                ticks_per_sec = if raw & 0x80 == 0 {
+                    10u64.checked_pow(power)
+                } else {
+                    2u64.checked_pow(power)
+                }
+                .ok_or_else(|| IngestError::Malformed {
+                    offset,
+                    reason: format!("if_tsresol 2^/10^{power} overflows"),
+                })?;
+            }
+        }
+        self.interfaces.push(Interface {
+            link,
+            ticks_per_sec,
+        });
+        Ok(())
+    }
+
+    fn parse_epb(&mut self, body: &[u8], offset: usize) -> Result<CaptureRecord, IngestError> {
+        let mut cur = Cursor::new(body);
+        let interface_id = cur.u32(self.endian, "EPB interface id")? as usize;
+        let ts_high = cur.u32(self.endian, "EPB timestamp high")?;
+        let ts_low = cur.u32(self.endian, "EPB timestamp low")?;
+        let cap_len = cur.u32(self.endian, "EPB captured length")? as usize;
+        let orig_len = cur.u32(self.endian, "EPB original length")?;
+        let data = cur.take(cap_len, "EPB packet data")?;
+        let iface = self
+            .interfaces
+            .get(interface_id)
+            .ok_or_else(|| IngestError::Malformed {
+                offset,
+                reason: format!(
+                    "EPB references interface {interface_id} but only {} are declared",
+                    self.interfaces.len()
+                ),
+            })?;
+        let ticks = (u64::from(ts_high) << 32) | u64::from(ts_low);
+        let micros = ticks_to_micros(ticks, iface.ticks_per_sec);
+        Ok(CaptureRecord {
+            timestamp: Timestamp::from_micros(micros),
+            wire_len: orig_len,
+            tuple: decode_frame(iface.link, data),
+        })
+    }
+}
+
+/// Converts interface ticks to microseconds, rounding toward zero.
+/// 128-bit intermediate: `ticks * 1e6` can exceed `u64` for fine
+/// resolutions.
+fn ticks_to_micros(ticks: u64, ticks_per_sec: u64) -> i64 {
+    let micros = u128::from(ticks) * 1_000_000 / u128::from(ticks_per_sec.max(1));
+    i64::try_from(micros).unwrap_or(i64::MAX)
+}
+
+/// Validates a block's total length and returns how many bytes remain
+/// after `consumed` (type/length fields already read), excluding or
+/// including the trailer as the caller arranged.
+fn checked_block_rest(total_len: u32, consumed: u32, offset: usize) -> Result<usize, IngestError> {
+    if total_len < consumed || !total_len.is_multiple_of(4) {
+        return Err(IngestError::Malformed {
+            offset,
+            reason: format!("block length {total_len} is impossible"),
+        });
+    }
+    Ok((total_len - consumed) as usize)
+}
+
+/// Bytes of padding aligning `len` up to a 4-byte boundary.
+fn padding_to_4(len: usize) -> usize {
+    len.wrapping_neg() & 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::parse_capture;
+    use crate::link::{build_frame, FiveTuple};
+
+    /// Minimal pcapng builder for tests: little- or big-endian.
+    pub(crate) struct Builder {
+        bytes: Vec<u8>,
+        big: bool,
+    }
+
+    impl Builder {
+        pub(crate) fn new(big: bool) -> Self {
+            let mut b = Builder {
+                bytes: Vec::new(),
+                big,
+            };
+            // SHB: type, len 28, magic, version 1.0, section len -1.
+            b.u32(SHB_TYPE);
+            b.u32(28);
+            b.u32(BYTE_ORDER_MAGIC);
+            b.u16(1);
+            b.u16(0);
+            b.u32(0xFFFF_FFFF);
+            b.u32(0xFFFF_FFFF);
+            b.u32(28);
+            b
+        }
+
+        fn u16(&mut self, v: u16) {
+            let bytes = if self.big {
+                v.to_be_bytes()
+            } else {
+                v.to_le_bytes()
+            };
+            self.bytes.extend_from_slice(&bytes);
+        }
+
+        fn u32(&mut self, v: u32) {
+            let bytes = if self.big {
+                v.to_be_bytes()
+            } else {
+                v.to_le_bytes()
+            };
+            self.bytes.extend_from_slice(&bytes);
+        }
+
+        /// IDB with an optional `if_tsresol` byte.
+        pub(crate) fn idb(&mut self, link: u32, tsresol: Option<u8>) {
+            // code+len+value+pad (8) plus opt_end code+len (4).
+            let options_len = if tsresol.is_some() { 12 } else { 0 };
+            let total = 20 + options_len;
+            self.u32(IDB_TYPE);
+            self.u32(total);
+            self.u16(link as u16);
+            self.u16(0);
+            self.u32(65_535);
+            if let Some(r) = tsresol {
+                self.u16(OPT_IF_TSRESOL);
+                self.u16(1);
+                self.bytes.push(r);
+                self.bytes.extend_from_slice(&[0, 0, 0]); // pad
+                self.u16(OPT_END);
+                self.u16(0);
+            }
+            self.u32(total);
+        }
+
+        /// EPB for interface `iface` with a raw tick count.
+        pub(crate) fn epb(&mut self, iface: u32, ticks: u64, frame: &[u8]) {
+            let padded = frame.len() + padding_to_4(frame.len());
+            let total = (32 + padded) as u32;
+            self.u32(EPB_TYPE);
+            self.u32(total);
+            self.u32(iface);
+            self.u32((ticks >> 32) as u32);
+            self.u32(ticks as u32);
+            self.u32(frame.len() as u32);
+            self.u32(frame.len() as u32);
+            self.bytes.extend_from_slice(frame);
+            self.bytes
+                .extend_from_slice(&vec![0u8; padded - frame.len()]);
+            self.u32(total);
+        }
+
+        /// An unknown block type that must be skipped.
+        pub(crate) fn unknown_block(&mut self) {
+            self.u32(0x0BAD_B10C);
+            self.u32(16);
+            self.u32(0xDEAD_BEEF);
+            self.u32(16);
+        }
+
+        pub(crate) fn finish(self) -> Vec<u8> {
+            self.bytes
+        }
+    }
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::tcp_v4([10, 1, 0, 1], 3022, [10, 1, 0, 2], 22)
+    }
+
+    #[test]
+    fn little_endian_epb_with_default_resolution() {
+        let frame = build_frame(&tuple(), 60).unwrap();
+        let mut b = Builder::new(false);
+        b.idb(1, None);
+        b.epb(0, 1_250_000, &frame); // default µs ticks
+        let records: Vec<CaptureRecord> = parse_capture(&b.finish())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].timestamp, Timestamp::from_micros(1_250_000));
+        assert_eq!(records[0].tuple, Some(tuple()));
+        assert_eq!(records[0].wire_len, 60);
+    }
+
+    #[test]
+    fn big_endian_sections_parse() {
+        let frame = build_frame(&tuple(), 60).unwrap();
+        let mut b = Builder::new(true);
+        b.idb(1, None);
+        b.epb(0, 42, &frame);
+        let records: Vec<CaptureRecord> = parse_capture(&b.finish())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records[0].timestamp, Timestamp::from_micros(42));
+    }
+
+    #[test]
+    fn if_tsresol_nanoseconds_and_power_of_two() {
+        let frame = build_frame(&tuple(), 60).unwrap();
+        let mut b = Builder::new(false);
+        b.idb(1, Some(9)); // 10⁻⁹: nanosecond ticks
+        b.idb(1, Some(0x80 | 20)); // 2⁻²⁰ ≈ 0.95 µs ticks
+        b.epb(0, 1_500_300_000, &frame); // 1.5003 s in ns
+        b.epb(1, 1 << 20, &frame); // exactly 1 s in 2⁻²⁰ ticks
+        let records: Vec<CaptureRecord> = parse_capture(&b.finish())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records[0].timestamp, Timestamp::from_micros(1_500_300));
+        assert_eq!(records[1].timestamp, Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped_and_new_sections_reset() {
+        let frame = build_frame(&tuple(), 60).unwrap();
+        let mut b = Builder::new(false);
+        b.idb(1, None);
+        b.unknown_block();
+        b.epb(0, 7, &frame);
+        // A second section (big-endian) with its own interface.
+        let second = {
+            let mut s = Builder::new(true);
+            s.idb(1, None);
+            s.epb(0, 9, &frame);
+            s.finish()
+        };
+        let mut bytes = b.finish();
+        bytes.extend_from_slice(&second);
+        let records: Vec<CaptureRecord> = parse_capture(&bytes)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].timestamp, Timestamp::from_micros(7));
+        assert_eq!(records[1].timestamp, Timestamp::from_micros(9));
+    }
+
+    #[test]
+    fn structural_corruption_is_an_error_not_a_panic() {
+        let frame = build_frame(&tuple(), 60).unwrap();
+        let mut b = Builder::new(false);
+        b.idb(1, None);
+        b.epb(0, 7, &frame);
+        let good = b.finish();
+
+        // EPB referencing an undeclared interface.
+        let mut no_idb = Builder::new(false);
+        no_idb.epb(3, 7, &frame);
+        let result: Result<Vec<_>, _> = parse_capture(&no_idb.finish()).unwrap().collect();
+        assert!(matches!(result, Err(IngestError::Malformed { .. })));
+
+        // Mismatched trailer length.
+        let mut torn = good.clone();
+        let last4 = torn.len() - 4;
+        torn[last4..].copy_from_slice(&999u32.to_le_bytes());
+        let result: Result<Vec<_>, _> = parse_capture(&torn).unwrap().collect();
+        assert!(matches!(result, Err(IngestError::Malformed { .. })));
+
+        // Every truncation either errors or yields fewer records.
+        for cut in 0..good.len() {
+            match parse_capture(&good[..cut]) {
+                Ok(iter) => {
+                    let parsed: Result<Vec<_>, _> = iter.collect();
+                    if let Ok(records) = parsed {
+                        assert!(records.len() <= 1);
+                    }
+                }
+                Err(e) => {
+                    assert!(matches!(
+                        e,
+                        IngestError::BadMagic
+                            | IngestError::Truncated { .. }
+                            | IngestError::Malformed { .. }
+                    ));
+                }
+            }
+        }
+
+        // An impossible block length (not a multiple of 4 / too short).
+        let mut bad_len = good.clone();
+        bad_len[32..36].copy_from_slice(&7u32.to_le_bytes());
+        let result: Result<Vec<_>, _> = parse_capture(&bad_len).unwrap().collect();
+        assert!(result.is_err());
+    }
+}

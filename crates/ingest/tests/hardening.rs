@@ -1,0 +1,68 @@
+//! Corrupt-input hardening: whatever bytes arrive, the capture reader
+//! returns `IngestError` — it never panics and never loops forever.
+
+use proptest::prelude::*;
+use stepstone_flow::{Flow, FlowBuilder, Packet, Timestamp};
+use stepstone_ingest::{parse_capture, read_capture, write_flows, FiveTuple, IngestError};
+
+fn sample_capture() -> Vec<u8> {
+    let mut b = FlowBuilder::new();
+    for i in 0..16i64 {
+        let micros = i * 250_000;
+        b.push(Packet::new(Timestamp::from_micros(micros), 64))
+            .unwrap();
+    }
+    let flow: Flow = b.finish();
+    let tuple = FiveTuple::udp_v4([10, 0, 0, 1], 4000, [10, 0, 0, 2], 4001);
+    let mut bytes = Vec::new();
+    write_flows(&mut bytes, &[(tuple, &flow)]).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes: error or parse, never panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        match parse_capture(&bytes) {
+            Ok(iter) => {
+                // Bound the walk: a structural error fuses the iterator,
+                // so this always terminates.
+                let _ = iter.collect::<Result<Vec<_>, _>>();
+            }
+            Err(
+                IngestError::BadMagic
+                | IngestError::Truncated { .. }
+                | IngestError::Malformed { .. }
+                | IngestError::UnsupportedLinkType(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Single-byte corruption of a valid capture: error or a different
+    /// (possibly shorter) record list, never a panic.
+    #[test]
+    fn corrupted_captures_never_panic(pos in 0usize..1304, pattern in 1u8..=255) {
+        let mut bytes = sample_capture();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= pattern;
+        let _ = read_capture(bytes.as_slice());
+    }
+
+    /// Truncation at every point: error or a clean prefix of records.
+    #[test]
+    fn truncated_captures_never_panic(cut in 0usize..1305) {
+        let bytes = sample_capture();
+        let cut = cut.min(bytes.len());
+        if let Ok(iter) = parse_capture(&bytes[..cut]) {
+            if let Ok(records) = iter.collect::<Result<Vec<_>, _>>() {
+                // Clean cuts land on record boundaries: 24-byte
+                // header plus 16 + 64 bytes per UDP frame record.
+                prop_assert_eq!((cut - 24) % 80, 0);
+                prop_assert_eq!(records.len(), (cut - 24) / 80);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Satellite properties for the wire round-trip:
+//!
+//! 1. `Flow → PcapWriter → parse_capture → FlowDemux` preserves packet
+//!    count, order, sizes and microsecond timestamps, for arbitrary
+//!    flows and arbitrary cross-flow interleavings.
+//! 2. Streaming a round-tripped capture through the monitor yields the
+//!    same verdicts as batch-decoding the same flows offline.
+
+use proptest::prelude::*;
+use rand::Rng;
+use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
+use stepstone_core::{Algorithm, WatermarkCorrelator};
+use stepstone_flow::{Flow, FlowBuilder, Packet, TimeDelta, Timestamp};
+use stepstone_ingest::{
+    parse_capture, replay_capture, write_flows, FiveTuple, FlowDemux, ReplayClock,
+};
+use stepstone_monitor::{Monitor, MonitorConfig, UpstreamId, Verdict};
+use stepstone_traffic::Seed;
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+
+/// A distinct UDP 5-tuple per flow index.
+fn tuple(i: usize) -> FiveTuple {
+    FiveTuple::udp_v4([10, 9, 0, i as u8], 41_000 + i as u16, [192, 0, 2, 7], 9)
+}
+
+/// Builds a flow from (start, deltas, sizes); sizes are clamped to the
+/// 42-byte Ethernet/IPv4/UDP minimum so frames can carry them.
+fn flow_from_parts(start: i64, steps: &[(u32, u16)]) -> Flow {
+    let mut b = FlowBuilder::new();
+    let mut t = start;
+    for &(delta, size) in steps {
+        t += i64::from(delta);
+        let size = u32::from(size.max(42));
+        b.push(Packet::new(Timestamp::from_micros(t), size))
+            .expect("deltas are non-negative");
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pcap_roundtrip_preserves_flows(
+        flows in proptest::collection::vec(
+            (
+                0i64..1_000_000,
+                proptest::collection::vec((0u32..2_000_000, 42u16..1400), 1..60),
+            ),
+            1..5,
+        ),
+    ) {
+        let built: Vec<(FiveTuple, Flow)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, (start, steps))| (tuple(i), flow_from_parts(*start, steps)))
+            .collect();
+        let tagged: Vec<(FiveTuple, &Flow)> = built.iter().map(|(t, f)| (*t, f)).collect();
+        let mut bytes = Vec::new();
+        let written = write_flows(&mut bytes, &tagged).unwrap();
+        let total: usize = built.iter().map(|(_, f)| f.len()).sum();
+        prop_assert_eq!(written as usize, total);
+
+        let mut demux = FlowDemux::new();
+        for record in parse_capture(&bytes).unwrap() {
+            demux.push(&record.unwrap());
+        }
+        let (demuxed, stats) = demux.finish();
+        prop_assert_eq!(stats.packets as usize, total);
+        prop_assert_eq!(stats.ignored, 0);
+        prop_assert_eq!(stats.clamped, 0);
+        prop_assert_eq!(demuxed.len(), built.len());
+
+        // Match flows back up by tuple: count, order, µs timestamps and
+        // sizes must all survive the round-trip exactly.
+        for (t, original) in &built {
+            let back = demuxed
+                .iter()
+                .find(|d| d.tuple == *t)
+                .expect("every flow demuxes back out");
+            prop_assert_eq!(back.flow.len(), original.len());
+            prop_assert_eq!(back.flow.timestamps(), original.timestamps());
+            let sizes: Vec<u32> = back.flow.iter().map(|p| p.size()).collect();
+            let expected: Vec<u32> = original.iter().map(|p| p.size()).collect();
+            prop_assert_eq!(sizes, expected);
+        }
+    }
+}
+
+/// A cheap 4-bit scheme so each decode stays fast.
+fn tiny_params() -> WatermarkParams {
+    WatermarkParams {
+        bits: 4,
+        redundancy: 1,
+        offset: 1,
+        adjustment: TimeDelta::from_millis(800),
+        threshold: 1,
+    }
+}
+
+/// A deterministic irregular flow (64-byte payload packets).
+fn seeded_flow(seed: u64) -> Flow {
+    let mut rng = Seed::new(seed).rng(0);
+    let mut t = 0i64;
+    let packets = (0..120).map(|_| {
+        t += rng.gen_range(50_000..2_000_000);
+        Timestamp::from_micros(t)
+    });
+    Flow::from_timestamps(packets).unwrap()
+}
+
+#[test]
+fn streaming_roundtripped_pcap_matches_batch_decode() {
+    for seed in [3u64, 17, 2005] {
+        let delta = TimeDelta::from_secs(3);
+        let original = seeded_flow(seed);
+        let marker = IpdWatermarker::new(WatermarkKey::new(seed ^ 77), tiny_params());
+        let watermark = Watermark::random(4, &mut WatermarkKey::new(seed).rng(1));
+        let marked = marker.embed(&original, &watermark).unwrap();
+        let attack = |base: &Flow, salt: u64| {
+            AdversaryPipeline::new()
+                .then(UniformPerturbation::new(delta))
+                .then(ChaffInjector::new(ChaffModel::Poisson { rate: 1.0 }))
+                .apply(base, Seed::new(seed ^ salt))
+        };
+        let downstream = attack(&marked, 0xA);
+        let decoy = attack(&seeded_flow(seed ^ 0xDEAD), 0xB);
+
+        let correlator = WatermarkCorrelator::new(marker, watermark, delta, Algorithm::GreedyPlus);
+        let prepared = correlator.prepare(&original, &marked).unwrap();
+
+        let mut bytes = Vec::new();
+        write_flows(&mut bytes, &[(tuple(0), &downstream), (tuple(1), &decoy)]).unwrap();
+
+        // Window big enough for either flow and one flush decode per
+        // pair: the regime where streaming must equal batch.
+        let mut monitor = Monitor::new(
+            MonitorConfig::default()
+                .with_window_capacity(downstream.len().max(decoy.len()))
+                .with_decode_batch(usize::MAX),
+        );
+        monitor.register_upstream(UpstreamId(0), correlator.bind(&original, &marked).unwrap());
+        let outcome = replay_capture(&bytes, monitor, ReplayClock::Fast, None).unwrap();
+        assert_eq!(outcome.rejected, 0, "seed {seed}: capture is in order");
+        assert_eq!(outcome.flows.len(), 2, "seed {seed}");
+
+        // Batch-decode the *demuxed* flows and compare each pair's
+        // terminal verdict against the offline correlator.
+        for demuxed in &outcome.flows {
+            let expect = prepared.correlate(&demuxed.flow);
+            let verdicts: Vec<&Verdict> = outcome
+                .verdicts
+                .iter()
+                .filter(|v| v.pair().is_some_and(|p| p.flow == demuxed.id))
+                .collect();
+            assert_eq!(verdicts.len(), 1, "seed {seed}: one terminal verdict");
+            match *verdicts[0] {
+                Verdict::Correlated { hamming, .. } => {
+                    assert!(expect.correlated, "seed {seed}");
+                    assert_eq!(Some(hamming), expect.hamming, "seed {seed}");
+                }
+                Verdict::Cleared { hamming, .. } => {
+                    assert!(!expect.correlated, "seed {seed}");
+                    assert_eq!(hamming, expect.hamming, "seed {seed}");
+                }
+                Verdict::Evicted { .. } => panic!("seed {seed}: no eviction configured"),
+            }
+        }
+        // And the true downstream is the correlated one.
+        let true_tuple = tuple(0);
+        let true_id = outcome
+            .flows
+            .iter()
+            .find(|f| f.tuple == true_tuple)
+            .unwrap()
+            .id;
+        assert!(outcome.verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Correlated { pair, .. } if pair.flow == true_id
+        )));
+    }
+}

@@ -103,6 +103,18 @@ mod tests {
     }
 
     #[test]
+    fn classifies_the_ingest_crate_like_any_library() {
+        // The auto-discovered ingest crate gets the full library rule
+        // set (no_panic, micros_math, forbid_unsafe at the root).
+        let parser = classify("crates/ingest/src/pcap.rs");
+        assert_eq!(parser.crate_dir, "ingest");
+        assert!(parser.is_library);
+        assert!(!parser.is_crate_root);
+        assert!(classify("crates/ingest/src/lib.rs").is_crate_root);
+        assert!(!classify("crates/ingest/tests/roundtrip.rs").is_library);
+    }
+
+    #[test]
     fn non_library_paths() {
         assert!(!classify("crates/monitor/tests/props.rs").is_library);
         assert!(!classify("tests/pipeline.rs").is_library);

@@ -23,6 +23,7 @@
 //! | [`stats`] | `stepstone-stats` | rates, cost summaries, figures |
 //! | [`experiments`] | `stepstone-experiments` | the paper's tables and figures |
 //! | [`monitor`] | `stepstone-monitor` | online multi-flow correlation engine |
+//! | [`ingest`] | `stepstone-ingest` | pcap/pcapng wire ingestion, flow demux, replay clock |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use stepstone_baselines as baselines;
 pub use stepstone_core as core;
 pub use stepstone_experiments as experiments;
 pub use stepstone_flow as flow;
+pub use stepstone_ingest as ingest;
 pub use stepstone_matching as matching;
 pub use stepstone_monitor as monitor;
 pub use stepstone_netsim as netsim;
@@ -81,6 +83,9 @@ pub mod prelude {
     };
     pub use stepstone_core::{Algorithm, Correlation, WatermarkCorrelator};
     pub use stepstone_flow::{Flow, FlowBuilder, Packet, Provenance, TimeDelta, Timestamp};
+    pub use stepstone_ingest::{
+        parse_capture, replay_capture, write_flows, FiveTuple, FlowDemux, PcapWriter, ReplayClock,
+    };
     pub use stepstone_monitor::{FlowId, Monitor, MonitorConfig, UpstreamId, Verdict};
     pub use stepstone_netsim::SteppingStoneChain;
     pub use stepstone_traffic::{
