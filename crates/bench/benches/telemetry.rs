@@ -1,0 +1,87 @@
+//! Telemetry hot-path overhead: counter increments, histogram records
+//! and the `time!`/`span!` macros against an uninstrumented baseline.
+//!
+//! The baseline workload is the exact code the `disabled` cargo
+//! feature compiles the macros down to, so `timed_sum/baseline` vs
+//! `timed_sum/instrumented` is the enabled-vs-disabled comparison
+//! without needing two feature builds of the same binary.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stepstone_telemetry::{time, Counter, Gauge, Histogram, Registry, SpanLog, Timer};
+
+/// A small arithmetic workload standing in for "real work": cheap
+/// enough that instrumentation overhead would show, real enough that
+/// the optimizer cannot delete it.
+fn workload(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn hot_path_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_primitives");
+
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let gauge = Gauge::new();
+    group.bench_function("gauge_add", |b| b.iter(|| gauge.add(black_box(1))));
+
+    let histogram = Histogram::new();
+    let mut v = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(997) & 0xFFFF;
+            histogram.record(black_box(v));
+        })
+    });
+
+    let log = SpanLog::new(1024);
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            stepstone_telemetry::span!(log, "bench");
+        })
+    });
+
+    // Registered handles go through the same atomics; a lookup is the
+    // cold path and should stay out of any hot loop.
+    let registry = Registry::new();
+    let handle = registry.counter("bench_total", "bench");
+    group.bench_function("registered_counter_inc", |b| b.iter(|| handle.inc()));
+    group.bench_function("registry_lookup", |b| {
+        b.iter(|| registry.counter("bench_total", "bench"))
+    });
+
+    group.finish();
+}
+
+fn timed_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_sum");
+    let n = 256u64;
+
+    group.bench_function("baseline", |b| b.iter(|| workload(black_box(n))));
+
+    let histogram = Arc::new(Histogram::new());
+    group.bench_function("instrumented", |b| {
+        b.iter(|| time!(histogram, workload(black_box(n))))
+    });
+
+    // Timer alone, to separate clock cost from record cost.
+    group.bench_function("timer_only", |b| {
+        b.iter(|| {
+            let t = Timer::start();
+            let r = workload(black_box(n));
+            black_box(t);
+            r
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hot_path_primitives, timed_workload);
+criterion_main!(benches);

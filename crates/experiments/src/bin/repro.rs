@@ -17,10 +17,12 @@ use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use stepstone_experiments::{ablations, diagnostics, figures, live, ExperimentConfig, Scale};
 use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
+use stepstone_telemetry::{MetricsServer, Registry};
 use stepstone_traffic::Seed;
 
 fn main() -> ExitCode {
@@ -37,7 +39,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
              [--pairs N] [--decoys N] [--shards N] [--packets N]
-             [--pcap FILE] [--replay fast|real|xN] <target>...
+             [--pcap FILE] [--replay fast|real|xN]
+             [--metrics-addr HOST:PORT] <target>...
 targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all";
 
 struct Options {
@@ -54,6 +57,10 @@ struct Options {
     pcap: Option<PathBuf>,
     /// Pacing for `--pcap` replay.
     replay: ReplayClock,
+    /// `monitor` serves live telemetry here (e.g. `127.0.0.1:9184`,
+    /// or port `0` for an ephemeral one) and keeps the endpoint up
+    /// after the report prints, until the process is killed.
+    metrics_addr: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -68,6 +75,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut packets = None;
     let mut pcap = None;
     let mut replay = ReplayClock::Fast;
+    let mut metrics_addr = None;
     let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
             .ok_or(format!("{flag} needs a value"))?
@@ -104,6 +112,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--replay needs a value")?;
                 replay = v.parse().map_err(|e| format!("{e}"))?;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    it.next()
+                        .ok_or("--metrics-addr needs HOST:PORT")?
+                        .to_string(),
+                );
+            }
             "--help" | "-h" => return Err("help requested".into()),
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -127,6 +142,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         packets,
         pcap,
         replay,
+        metrics_addr,
     })
 }
 
@@ -168,20 +184,39 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
         "future-loss" => emit(&figures::future_loss(cfg), opts)?,
         "future-repack" => emit(&figures::future_repack(cfg), opts)?,
         "monitor" => {
+            let server = match &opts.metrics_addr {
+                Some(addr) => {
+                    let registry = Arc::new(Registry::new());
+                    let server = MetricsServer::bind(addr.as_str(), Arc::clone(&registry))
+                        .map_err(|e| format!("cannot bind --metrics-addr {addr}: {e}"))?;
+                    eprintln!("serving metrics at http://{}/metrics", server.local_addr());
+                    Some((server, registry))
+                }
+                None => None,
+            };
+            let registry = server.as_ref().map(|(_, r)| Arc::clone(r));
             if let Some(path) = &opts.pcap {
                 // Wire mode: correlators come from the scale-independent
                 // wire scenario, packets from the capture file.
                 let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
                 let bytes =
                     fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                let report = live::replay_pcap(&scenario, &bytes, opts.replay)
+                let report = live::replay_pcap_with(&scenario, &bytes, opts.replay, registry)
                     .map_err(|e| format!("monitor: {e}"))?;
                 println!("{report}");
             } else {
                 let scenario = apply_overrides(live::LiveScenario::from_config(cfg), opts)?;
-                let report = live::replay(&scenario)
+                let report = live::replay_with(&scenario, registry)
                     .map_err(|e| format!("monitor: cannot build the scenario corpus: {e}"))?;
                 println!("{report}");
+            }
+            if let Some((_server, _)) = server {
+                // Keep the endpoint up so a scraper can read the final
+                // counters after the report; exit via SIGINT/SIGTERM.
+                eprintln!("metrics endpoint stays up until the process is killed");
+                loop {
+                    std::thread::park();
+                }
             }
         }
         "pcap-export" => {

@@ -9,6 +9,7 @@
 //! detection quality and engine counters.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
@@ -18,6 +19,7 @@ use stepstone_ingest::{
     replay_capture, write_flows, FiveTuple, IngestError, ReplayClock, ReplayOutcome,
 };
 use stepstone_monitor::{FlowId, Monitor, MonitorConfig, MonitorStats, UpstreamId, Verdict};
+use stepstone_telemetry::Registry;
 use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
 use stepstone_watermark::{
     IpdWatermarker, Watermark, WatermarkError, WatermarkKey, WatermarkParams,
@@ -187,7 +189,10 @@ struct Corpus {
 /// so two calls with the same scenario build interchangeable corpora —
 /// the property [`replay_pcap`] relies on to rebuild correlators for a
 /// capture exported earlier.
-fn build_corpus(scenario: &LiveScenario) -> Result<Corpus, WatermarkError> {
+fn build_corpus(
+    scenario: &LiveScenario,
+    registry: Option<Arc<Registry>>,
+) -> Result<Corpus, WatermarkError> {
     let attack = |flow: &Flow, seed: Seed| {
         AdversaryPipeline::new()
             .then(UniformPerturbation::new(scenario.delta))
@@ -204,11 +209,13 @@ fn build_corpus(scenario: &LiveScenario) -> Result<Corpus, WatermarkError> {
         )
     };
 
-    let mut monitor = Monitor::new(
-        MonitorConfig::default()
-            .with_shards(scenario.shards)
-            .with_decode_batch(scenario.decode_batch),
-    );
+    let mut config = MonitorConfig::default()
+        .with_shards(scenario.shards)
+        .with_decode_batch(scenario.decode_batch);
+    if let Some(registry) = registry {
+        config = config.with_registry(registry);
+    }
+    let mut monitor = Monitor::new(config);
     let mut suspicious: Vec<(FlowId, Flow)> = Vec::new();
     for i in 0..scenario.upstreams {
         let branch = scenario.seed.child(i as u64);
@@ -241,10 +248,20 @@ fn build_corpus(scenario: &LiveScenario) -> Result<Corpus, WatermarkError> {
 /// Fails when the scenario's flows are too short for the watermark
 /// layout (see [`WatermarkError::FlowTooShort`]).
 pub fn replay(scenario: &LiveScenario) -> Result<LiveReport, WatermarkError> {
+    replay_with(scenario, None)
+}
+
+/// [`replay`] with the monitor publishing into `registry`, so callers
+/// can watch the replay live over a
+/// [`stepstone_telemetry::MetricsServer`] bound to the same registry.
+pub fn replay_with(
+    scenario: &LiveScenario,
+    registry: Option<Arc<Registry>>,
+) -> Result<LiveReport, WatermarkError> {
     let Corpus {
         mut monitor,
         suspicious,
-    } = build_corpus(scenario)?;
+    } = build_corpus(scenario, registry)?;
 
     // One time-ordered stream across all suspicious flows, as a tap on
     // the monitored link would deliver it.
@@ -332,7 +349,7 @@ impl From<IngestError> for LivePcapError {
 /// today replays against a monitor rebuilt from the same scenario
 /// tomorrow — that is how the `tests/data/sample.pcap` fixture works.
 pub fn export_pcap(scenario: &LiveScenario) -> Result<Vec<u8>, LivePcapError> {
-    let corpus = build_corpus(scenario)?;
+    let corpus = build_corpus(scenario, None)?;
     let tagged: Vec<(FiveTuple, &Flow)> = corpus
         .suspicious
         .iter()
@@ -409,7 +426,19 @@ pub fn replay_pcap(
     bytes: &[u8],
     clock: ReplayClock,
 ) -> Result<PcapReport, LivePcapError> {
-    let corpus = build_corpus(scenario)?;
+    replay_pcap_with(scenario, bytes, clock, None)
+}
+
+/// [`replay_pcap`] with the monitor publishing into `registry`; the
+/// ingest demux and replay loop bind to the same registry inside
+/// [`replay_capture`], so one endpoint covers the whole pipeline.
+pub fn replay_pcap_with(
+    scenario: &LiveScenario,
+    bytes: &[u8],
+    clock: ReplayClock,
+    registry: Option<Arc<Registry>>,
+) -> Result<PcapReport, LivePcapError> {
+    let corpus = build_corpus(scenario, registry)?;
     let outcome = replay_capture(bytes, corpus.monitor, clock, None)?;
 
     // The demux numbers flows in first-seen order, which need not match

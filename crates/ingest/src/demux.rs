@@ -10,9 +10,11 @@
 //!   straight into `stepstone_monitor::Monitor::ingest`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use stepstone_flow::{Flow, FlowBuilder, Packet, TimeDelta, Timestamp};
 use stepstone_monitor::FlowId;
+use stepstone_telemetry::{Counter, Gauge, Registry};
 
 use crate::capture::CaptureRecord;
 use crate::link::FiveTuple;
@@ -45,6 +47,48 @@ pub struct DemuxStats {
     pub flows_evicted: u64,
 }
 
+/// Telemetry handles mirroring [`DemuxStats`], interned when the demux
+/// is bound to a registry via [`FlowDemux::bind_registry`]. The plain
+/// stats stay the source of truth; these handles are incremented in
+/// lockstep so a `/metrics` scrape sees the same numbers.
+#[derive(Debug)]
+struct DemuxMetrics {
+    packets: Arc<Counter>,
+    ignored: Arc<Counter>,
+    clamped: Arc<Counter>,
+    flows_opened: Arc<Counter>,
+    flows_evicted: Arc<Counter>,
+    flows_live: Arc<Gauge>,
+}
+
+impl DemuxMetrics {
+    fn new(registry: &Registry) -> Self {
+        DemuxMetrics {
+            packets: registry.counter(
+                "ingest_packets_total",
+                "Capture records mapped to a transport flow",
+            ),
+            ignored: registry.counter(
+                "ingest_records_ignored_total",
+                "Capture records without a usable 5-tuple",
+            ),
+            clamped: registry.counter(
+                "ingest_timestamps_clamped_total",
+                "Packets clamped forward after a backwards timestamp",
+            ),
+            flows_opened: registry.counter("ingest_flows_opened_total", "Flows ever opened"),
+            flows_evicted: registry.counter(
+                "ingest_flows_evicted_total",
+                "Flows closed by the idle-timeout sweep",
+            ),
+            flows_live: registry.gauge(
+                "ingest_flows_live",
+                "Flows currently being assembled by the demux",
+            ),
+        }
+    }
+}
+
 /// One live flow being assembled.
 #[derive(Debug)]
 struct Slot {
@@ -61,6 +105,7 @@ pub struct FlowDemux {
     idle_timeout: Option<TimeDelta>,
     next_id: u64,
     stats: DemuxStats,
+    metrics: Option<DemuxMetrics>,
 }
 
 impl FlowDemux {
@@ -73,7 +118,27 @@ impl FlowDemux {
             idle_timeout: None,
             next_id: 0,
             stats: DemuxStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Publishes this demux's counters (`ingest_*` families) into
+    /// `registry`, catching the handles up with anything already
+    /// counted. Typically called with `Monitor::registry()` so demux
+    /// and engine series share one exposition endpoint.
+    pub fn bind_registry(&mut self, registry: &Registry) {
+        let metrics = DemuxMetrics::new(registry);
+        // Catch up: the handles may be freshly interned while this
+        // demux already saw traffic.
+        metrics.packets.add(self.stats.packets);
+        metrics.ignored.add(self.stats.ignored);
+        metrics.clamped.add(self.stats.clamped);
+        metrics.flows_opened.add(self.stats.flows_opened);
+        metrics.flows_evicted.add(self.stats.flows_evicted);
+        metrics
+            .flows_live
+            .add(i64::try_from(self.live.len()).unwrap_or(i64::MAX));
+        self.metrics = Some(metrics);
     }
 
     /// A demux that closes flows idle for longer than `timeout` during
@@ -95,12 +160,20 @@ impl FlowDemux {
     pub fn push(&mut self, record: &CaptureRecord) -> Option<(FlowId, Packet)> {
         let Some(tuple) = record.tuple else {
             self.stats.ignored += 1;
+            if let Some(m) = &self.metrics {
+                m.ignored.inc();
+            }
             return None;
         };
+        let metrics = &self.metrics;
         let slot = self.live.entry(tuple).or_insert_with(|| {
             let id = FlowId(self.next_id);
             self.next_id += 1;
             self.stats.flows_opened += 1;
+            if let Some(m) = metrics {
+                m.flows_opened.inc();
+                m.flows_live.inc();
+            }
             Slot {
                 id,
                 builder: FlowBuilder::new(),
@@ -111,6 +184,9 @@ impl FlowDemux {
         if ts < slot.last_seen {
             ts = slot.last_seen;
             self.stats.clamped += 1;
+            if let Some(m) = &self.metrics {
+                m.clamped.inc();
+            }
         }
         slot.last_seen = ts;
         let packet = Packet::new(ts, record.wire_len);
@@ -119,6 +195,9 @@ impl FlowDemux {
             return None;
         }
         self.stats.packets += 1;
+        if let Some(m) = &self.metrics {
+            m.packets.inc();
+        }
         Some((slot.id, packet))
     }
 
@@ -143,6 +222,10 @@ impl FlowDemux {
             if let Some(slot) = self.live.remove(&tuple) {
                 closed.push(slot.id);
                 self.stats.flows_evicted += 1;
+                if let Some(m) = &self.metrics {
+                    m.flows_evicted.inc();
+                    m.flows_live.dec();
+                }
                 self.evicted.push(DemuxFlow {
                     id: slot.id,
                     tuple,
@@ -177,6 +260,12 @@ impl FlowDemux {
     /// previously evicted ones included — sorted by [`FlowId`].
     #[must_use]
     pub fn finish(mut self) -> (Vec<DemuxFlow>, DemuxStats) {
+        if let Some(m) = &self.metrics {
+            // The registry outlives this demux; settle the live gauge
+            // so a later scrape doesn't report phantom flows.
+            m.flows_live
+                .add(-i64::try_from(self.live.len()).unwrap_or(i64::MAX));
+        }
         let mut flows = std::mem::take(&mut self.evicted);
         for (tuple, slot) in self.live.drain() {
             flows.push(DemuxFlow {
@@ -287,6 +376,55 @@ mod tests {
         assert_eq!(flows.len(), 2); // b + reopened a
         assert_eq!(stats.flows_opened, 3);
         assert_eq!(stats.flows_evicted, 1);
+    }
+
+    #[test]
+    fn bound_registry_mirrors_stats_and_settles_on_finish() {
+        let (a, b) = tuples();
+        let registry = Registry::new();
+        let mut demux = FlowDemux::with_idle_timeout(TimeDelta::from_secs(30));
+        // Traffic before binding is caught up at bind time.
+        demux.push(&record(a, 0, 64)).unwrap();
+        demux.bind_registry(&registry);
+        demux.push(&record(b, 1, 64)).unwrap();
+        demux.push(&record(b, 2, 64)).unwrap();
+        // One clamp, one ignored record.
+        demux.push(&record(b, 1, 64)).unwrap();
+        demux
+            .push(&CaptureRecord {
+                timestamp: Timestamp::from_millis(3),
+                wire_len: 60,
+                tuple: None,
+            })
+            .is_none()
+            .then_some(())
+            .unwrap();
+        demux.sweep_idle(Timestamp::from_secs(40));
+
+        let stats = demux.stats();
+        let rendered = registry.render_prometheus();
+        let series = |name: &str| -> u64 {
+            rendered
+                .lines()
+                .find(|l| l.starts_with(name) && !l.starts_with('#'))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+                .unwrap_or(u64::MAX)
+        };
+        assert_eq!(series("ingest_packets_total"), stats.packets);
+        assert_eq!(series("ingest_records_ignored_total"), stats.ignored);
+        assert_eq!(series("ingest_timestamps_clamped_total"), stats.clamped);
+        assert_eq!(series("ingest_flows_opened_total"), stats.flows_opened);
+        assert_eq!(series("ingest_flows_evicted_total"), stats.flows_evicted);
+        assert_eq!(series("ingest_flows_live"), demux.live_flows() as u64);
+
+        let _ = demux.finish();
+        let rendered = registry.render_prometheus();
+        assert!(
+            rendered.contains("ingest_flows_live 0"),
+            "live gauge must settle to zero after finish: {rendered}"
+        );
     }
 
     #[test]

@@ -67,6 +67,18 @@ pub fn replay_capture(
         Some(t) => FlowDemux::with_idle_timeout(t),
         None => FlowDemux::new(),
     };
+    // Demux and replay counters publish into the engine's registry, so
+    // one `/metrics` endpoint covers the whole pipeline.
+    let registry = monitor.registry();
+    demux.bind_registry(&registry);
+    let events_total = registry.counter(
+        "ingest_replay_events_total",
+        "Ingest events delivered to the monitor by the replay loop",
+    );
+    let rejected_total = registry.counter(
+        "ingest_replay_rejected_total",
+        "Replay events the monitor rejected as out-of-order",
+    );
     let mut verdicts = Vec::new();
     let mut events = 0u64;
     let mut rejected = 0u64;
@@ -78,8 +90,10 @@ pub fn replay_capture(
         if let Some((flow, packet)) = demux.push(&record) {
             if !monitor.ingest(flow, packet) {
                 rejected += 1;
+                rejected_total.inc();
             }
             events += 1;
+            events_total.inc();
             if events.is_multiple_of(HOUSEKEEPING_EVERY) {
                 demux.sweep_idle(record.timestamp);
                 monitor.evict_idle(record.timestamp);

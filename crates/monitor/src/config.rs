@@ -1,6 +1,9 @@
 //! Engine sizing and policy knobs.
 
+use std::sync::Arc;
+
 use stepstone_flow::TimeDelta;
+use stepstone_telemetry::Registry;
 
 /// Sizing and policy for a [`Monitor`](crate::Monitor).
 ///
@@ -35,6 +38,14 @@ pub struct MonitorConfig {
     /// many packets as the pair's upstream flow (a complete matching is
     /// impossible before that), so `0` means "auto".
     pub min_window: usize,
+    /// Telemetry registry the engine publishes its metrics into.
+    /// `None` (the default) gives the engine a private registry,
+    /// reachable through [`Monitor::registry`][reg] — share one
+    /// explicitly to co-expose engine and ingest metrics on a single
+    /// endpoint.
+    ///
+    /// [reg]: crate::Monitor::registry
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for MonitorConfig {
@@ -46,6 +57,7 @@ impl Default for MonitorConfig {
             shards: 1,
             idle_timeout: None,
             min_window: 0,
+            registry: None,
         }
     }
 }
@@ -90,6 +102,15 @@ impl MonitorConfig {
     #[must_use]
     pub fn with_min_window(mut self, packets: usize) -> Self {
         self.min_window = packets;
+        self
+    }
+
+    /// Publishes engine metrics into `registry` instead of a private
+    /// one — the way to expose monitor and ingest series on one
+    /// endpoint.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 

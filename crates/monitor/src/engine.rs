@@ -1,17 +1,18 @@
 //! The online correlation engine: registry, shard pool, verdicts.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{btree_map, BTreeMap, HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use stepstone_core::{BoundCorrelator, Correlation};
 use stepstone_flow::{Flow, Packet, SlidingWindow, Timestamp};
+use stepstone_telemetry::{span, time, Counter, Registry};
 
 use crate::config::MonitorConfig;
 use crate::ids::{FlowId, PairId, UpstreamId};
+use crate::metrics::EngineMetrics;
 use crate::queue::{shard_queue, ShardGauges, ShardReceiver, ShardSender};
 use crate::stats::MonitorStats;
 use crate::verdict::Verdict;
@@ -83,27 +84,21 @@ struct Control {
     // #[bounded(via = "emit")]
     verdicts: VecDeque<Verdict>,
     clock: Option<Timestamp>,
-    packets_ingested: u64,
-    packets_rejected: u64,
-    flows_evicted: u64,
-    pairs_latched: u64,
-    decodes_scheduled: u64,
-    verdicts_emitted: u64,
+    /// Engine counters live in the telemetry registry; `Control`
+    /// increments these pre-resolved handles and
+    /// [`Monitor::stats`] reads them back, so the stats snapshot and
+    /// the `/metrics` endpoint share one source of truth.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Control {
-    fn new() -> Self {
+    fn new(metrics: Arc<EngineMetrics>) -> Self {
         Control {
             suspects: HashMap::new(),
             orphans: HashMap::new(),
             verdicts: VecDeque::new(),
             clock: None,
-            packets_ingested: 0,
-            packets_rejected: 0,
-            flows_evicted: 0,
-            pairs_latched: 0,
-            decodes_scheduled: 0,
-            verdicts_emitted: 0,
+            metrics,
         }
     }
 
@@ -122,7 +117,9 @@ impl Control {
                 state.last_hamming = outcome.hamming;
                 if outcome.correlated && !state.latched {
                     state.latched = true;
-                    self.pairs_latched += 1;
+                    self.metrics.pairs_latched.inc();
+                    // Latched pairs stop being candidates.
+                    self.metrics.pairs_active.dec();
                     self.emit(Verdict::Correlated {
                         pair,
                         hamming: outcome.hamming.unwrap_or(0),
@@ -131,10 +128,11 @@ impl Control {
                 }
             } else if let Some(mut state) = self.orphans.remove(&pair) {
                 // The flow was evicted mid-decode: this completion is
-                // the pair's terminal word.
+                // the pair's terminal word. (The pair left the active
+                // gauge when its flow was evicted.)
                 state.decodes += 1;
                 if outcome.correlated {
-                    self.pairs_latched += 1;
+                    self.metrics.pairs_latched.inc();
                     self.emit(Verdict::Correlated {
                         pair,
                         hamming: outcome.hamming.unwrap_or(0),
@@ -162,7 +160,7 @@ impl Control {
 
     /// The single choke point through which the verdict queue grows.
     fn emit(&mut self, verdict: Verdict) {
-        self.verdicts_emitted += 1;
+        self.metrics.count_verdict(&verdict);
         self.verdicts.push_back(verdict);
     }
 }
@@ -194,10 +192,11 @@ pub struct Monitor {
     /// [`finish`](Monitor::finish) still sees per-shard depths/drops
     /// after the senders are dropped to release the workers.
     gauges: Vec<ShardGauges>,
-    decodes_run: Arc<AtomicU64>,
-    worker_panics: Arc<AtomicU64>,
     done_rx: Receiver<Completion>,
     workers: Vec<JoinHandle<()>>,
+    /// Accepted packets since start, kept as a plain integer purely to
+    /// pace the idle-eviction sweep without summing counter stripes.
+    sweep_tick: u64,
 }
 
 impl Monitor {
@@ -209,8 +208,11 @@ impl Monitor {
     /// thread cannot be spawned.
     pub fn new(config: MonitorConfig) -> Self {
         config.validate();
-        let decodes_run = Arc::new(AtomicU64::new(0));
-        let worker_panics = Arc::new(AtomicU64::new(0));
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = Arc::new(EngineMetrics::new(registry));
         // The done channel is intentionally unbounded: its occupancy is
         // bounded by construction — at most (queue_capacity + 1) jobs
         // per shard are ever in flight, each contributing one
@@ -222,30 +224,40 @@ impl Monitor {
         for shard in 0..config.shards {
             let (tx, rx) = shard_queue::<DecodeJob>(config.queue_capacity);
             let worker_done = done_tx.clone();
-            let worker_decodes = Arc::clone(&decodes_run);
-            let worker_caught = Arc::clone(&worker_panics);
+            let worker_metrics = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("monitor-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, worker_done, worker_decodes, worker_caught))
+                    .spawn(move || worker_loop(rx, worker_done, &worker_metrics))
                     // lint: allow(no_panic) thread spawn fails only on resource exhaustion; documented under Panics
                     .expect("spawn monitor shard worker"),
             );
             shards.push(tx);
         }
         drop(done_tx);
-        let gauges = shards.iter().map(ShardSender::gauges).collect();
+        let gauges: Vec<ShardGauges> = shards.iter().map(ShardSender::gauges).collect();
+        for (shard, shard_gauges) in gauges.iter().enumerate() {
+            metrics.register_shard(shard, shard_gauges);
+        }
         Monitor {
             config,
             upstreams: BTreeMap::new(),
-            control: Control::new(),
+            control: Control::new(metrics),
             shards,
             gauges,
-            decodes_run,
-            worker_panics,
             done_rx,
             workers,
+            sweep_tick: 0,
         }
+    }
+
+    /// The telemetry registry this engine publishes into — hand it to a
+    /// [`MetricsServer`](stepstone_telemetry::MetricsServer) to expose
+    /// the engine's counters, queue gauges, and decode-latency
+    /// histogram over HTTP.
+    #[must_use]
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.control.metrics.registry)
     }
 
     /// Registers a watermarked upstream flow. Every tracked suspicious
@@ -273,26 +285,27 @@ impl Monitor {
             _ => packet.timestamp(),
         });
         let window_capacity = self.config.window_capacity;
-        let suspect = self
-            .control
-            .suspects
-            .entry(flow)
-            .or_insert_with(|| Suspect {
+        // `metrics` and `suspects` are disjoint fields of `control`,
+        // so the closure can bump the gauge exactly when the entry is
+        // inserted — no second map lookup on the hot path.
+        let metrics = &self.control.metrics;
+        let suspect = self.control.suspects.entry(flow).or_insert_with(|| {
+            metrics.flows_active.inc();
+            Suspect {
                 window: SlidingWindow::new(window_capacity),
                 pairs: BTreeMap::new(),
-            });
+            }
+        });
         if suspect.window.push(packet).is_err() {
-            self.control.packets_rejected += 1;
+            self.control.metrics.packets_rejected.inc();
             return false;
         }
-        self.control.packets_ingested += 1;
+        self.control.metrics.packets_ingested.inc();
+        // A plain local tick, not `packets_ingested.get()`: summing the
+        // counter stripes on every packet is measurable at line rate.
+        self.sweep_tick = self.sweep_tick.wrapping_add(1);
         self.schedule_pairs(flow);
-        if self.config.idle_timeout.is_some()
-            && self
-                .control
-                .packets_ingested
-                .is_multiple_of(EVICT_SWEEP_EVERY)
-        {
+        if self.config.idle_timeout.is_some() && self.sweep_tick.is_multiple_of(EVICT_SWEEP_EVERY) {
             if let Some(now) = self.control.clock {
                 self.evict_idle(now);
             }
@@ -315,6 +328,10 @@ impl Monitor {
         let Some(timeout) = self.config.idle_timeout else {
             return 0;
         };
+        // Clone the registry handle so the span guard borrows a local,
+        // not `self.control` (which `emit` below needs mutably).
+        let registry = Arc::clone(&self.control.metrics.registry);
+        span!(registry.spans(), "evict_sweep");
         let expired: Vec<(FlowId, stepstone_flow::TimeDelta)> = self
             .control
             .suspects
@@ -328,12 +345,16 @@ impl Monitor {
             let Some(suspect) = self.control.suspects.remove(&id) else {
                 continue;
             };
-            self.control.flows_evicted += 1;
+            self.control.metrics.flows_evicted.inc();
+            self.control.metrics.flows_active.dec();
             for (upstream, state) in suspect.pairs {
                 let pair = PairId { upstream, flow: id };
                 if state.latched {
                     continue;
                 }
+                // Non-latched pairs leave the active gauge with their
+                // flow (latched ones left it when they latched).
+                self.control.metrics.pairs_active.dec();
                 if state.in_flight {
                     // Let the in-flight decode resolve the pair.
                     self.control.orphans.insert(pair, state);
@@ -350,30 +371,40 @@ impl Monitor {
         expired.len()
     }
 
-    /// A point-in-time snapshot of the engine counters.
+    /// A point-in-time snapshot of the engine counters, assembled by
+    /// reading the telemetry registry handles back — the same values
+    /// `/metrics` renders.
     pub fn stats(&self) -> MonitorStats {
-        MonitorStats {
-            packets_ingested: self.control.packets_ingested,
-            packets_rejected: self.control.packets_rejected,
-            flows_active: self.control.suspects.len(),
-            flows_evicted: self.control.flows_evicted,
-            pairs_active: self
-                .control
+        let m = &self.control.metrics;
+        let flows_active = usize::try_from(m.flows_active.get()).unwrap_or(0);
+        let pairs_active = usize::try_from(m.pairs_active.get()).unwrap_or(0);
+        // The incrementally-maintained gauges must agree with the
+        // control state they mirror; recompute the truth in debug
+        // builds to catch any missed transition.
+        debug_assert_eq!(flows_active, self.control.suspects.len());
+        debug_assert_eq!(
+            pairs_active,
+            self.control
                 .suspects
                 .values()
                 .map(|s| s.pairs.values().filter(|p| !p.latched).count())
-                .sum(),
-            pairs_latched: self.control.pairs_latched,
-            decodes_scheduled: self.control.decodes_scheduled,
-            // ordering: monotonic stat counter; no memory is published
-            // through it.
-            decodes_run: self.decodes_run.load(Ordering::Relaxed),
+                .sum::<usize>()
+        );
+        MonitorStats {
+            packets_ingested: m.packets_ingested.get(),
+            packets_rejected: m.packets_rejected.get(),
+            flows_active,
+            flows_evicted: m.flows_evicted.get(),
+            pairs_active,
+            pairs_latched: m.pairs_latched.get(),
+            decodes_scheduled: m.decodes_scheduled.get(),
+            decodes_run: m.decodes_run.get(),
             decodes_dropped: self.gauges.iter().map(ShardGauges::dropped).sum(),
             queue_depths: self.gauges.iter().map(ShardGauges::depth).collect(),
-            // ordering: monotonic stat counter; no memory is published
-            // through it.
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            verdicts_emitted: self.control.verdicts_emitted,
+            queue_enqueued: self.gauges.iter().map(ShardGauges::enqueued).sum(),
+            queue_dequeued: self.gauges.iter().map(ShardGauges::dequeued).sum(),
+            worker_panics: m.worker_panics.get(),
+            verdicts_emitted: m.verdicts_emitted(),
         }
     }
 
@@ -441,7 +472,7 @@ impl Monitor {
                 let control = &mut self.control;
                 let accepted = sender.push_blocking(job, || control.pump(&self.done_rx));
                 if accepted {
-                    self.control.decodes_scheduled += 1;
+                    self.control.metrics.decodes_scheduled.inc();
                     if let Some(state) = self
                         .control
                         .suspects
@@ -518,7 +549,15 @@ impl Monitor {
             let Some(suspect) = self.control.suspects.get_mut(&flow) else {
                 return;
             };
-            let state = suspect.pairs.entry(upstream).or_default();
+            let state = match suspect.pairs.entry(upstream) {
+                btree_map::Entry::Vacant(entry) => {
+                    // A fresh pair enters the active gauge (PairState
+                    // defaults to non-latched).
+                    self.control.metrics.pairs_active.inc();
+                    entry.insert(PairState::default())
+                }
+                btree_map::Entry::Occupied(entry) => entry.into_mut(),
+            };
             if state.latched
                 || state.in_flight
                 || suspect.window.len() < min_window
@@ -536,7 +575,7 @@ impl Monitor {
             };
             let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
             if self.shards[shard].try_push(job) {
-                self.control.decodes_scheduled += 1;
+                self.control.metrics.decodes_scheduled.inc();
                 if let Some(state) = self
                     .control
                     .suspects
@@ -572,26 +611,23 @@ fn panicked_outcome() -> Correlation {
 /// forever at shutdown. `AssertUnwindSafe` is sound because the closure
 /// only reads state the caller consumes afterwards and writes nothing
 /// shared.
-fn run_contained(decode: impl FnOnce() -> Correlation, worker_panics: &AtomicU64) -> Correlation {
+fn run_contained(decode: impl FnOnce() -> Correlation, worker_panics: &Counter) -> Correlation {
     std::panic::catch_unwind(AssertUnwindSafe(decode)).unwrap_or_else(|_| {
-        // ordering: monotonic stat counter; no memory is published
-        // through it.
-        worker_panics.fetch_add(1, Ordering::Relaxed);
+        worker_panics.inc();
         panicked_outcome()
     })
 }
 
-fn worker_loop(
-    rx: ShardReceiver<DecodeJob>,
-    done: Sender<Completion>,
-    decodes_run: Arc<AtomicU64>,
-    worker_panics: Arc<AtomicU64>,
-) {
+fn worker_loop(rx: ShardReceiver<DecodeJob>, done: Sender<Completion>, metrics: &EngineMetrics) {
     while let Some(job) = rx.recv() {
-        let outcome = run_contained(|| job.correlator.correlate(&job.window), &worker_panics);
-        // ordering: monotonic stat counter; no memory is published
-        // through it.
-        decodes_run.fetch_add(1, Ordering::Relaxed);
+        span!(metrics.registry.spans(), "decode");
+        let outcome = time!(metrics.decode_latency, {
+            run_contained(
+                || job.correlator.correlate(&job.window),
+                &metrics.worker_panics,
+            )
+        });
+        metrics.decodes_run.inc();
         if done
             .send(Completion {
                 pair: job.pair,
@@ -611,7 +647,7 @@ mod tests {
 
     #[test]
     fn contained_decode_passes_results_through() {
-        let panics = AtomicU64::new(0);
+        let panics = Counter::new();
         let ok = Correlation {
             correlated: true,
             hamming: Some(1),
@@ -623,8 +659,7 @@ mod tests {
         let got = run_contained(|| ok.clone(), &panics);
         assert!(got.correlated);
         assert_eq!(got.hamming, Some(1));
-        // ordering: single-threaded test read.
-        assert_eq!(panics.load(Ordering::Relaxed), 0);
+        assert_eq!(panics.get(), 0);
     }
 
     #[test]
@@ -633,24 +668,18 @@ mod tests {
         // it so other tests keep readable failure output.
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let panics = AtomicU64::new(0);
+        let panics = Counter::new();
         let got = run_contained(|| panic!("decode bug"), &panics);
         std::panic::set_hook(hook);
         assert!(!got.correlated);
         assert!(!got.completed);
         assert_eq!(got.hamming, None);
-        assert_eq!(
-            // ordering: single-threaded test read.
-            panics.load(Ordering::Relaxed),
-            1,
-            "panic must be counted exactly once"
-        );
+        assert_eq!(panics.get(), 1, "panic must be counted exactly once");
         // A second contained panic keeps counting.
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let _ = run_contained(|| panic!("again"), &panics);
         std::panic::set_hook(hook);
-        // ordering: single-threaded test read.
-        assert_eq!(panics.load(Ordering::Relaxed), 2);
+        assert_eq!(panics.get(), 2);
     }
 }

@@ -62,6 +62,7 @@
 mod config;
 mod engine;
 mod ids;
+mod metrics;
 #[doc(hidden)]
 pub mod queue;
 mod stats;

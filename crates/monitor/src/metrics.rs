@@ -1,0 +1,160 @@
+//! The engine's telemetry handles, interned once per [`Monitor`].
+//!
+//! Every counter the engine maintains lives in the registry; the
+//! [`MonitorStats`](crate::MonitorStats) snapshot is assembled by
+//! *reading these handles back*, so the stats API and the `/metrics`
+//! endpoint can never disagree. Handles are created once at engine
+//! construction — hot paths touch only the pre-resolved `Arc`s, never
+//! the registry's interning lock.
+//!
+//! [`Monitor`]: crate::Monitor
+
+use std::sync::Arc;
+
+use stepstone_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::queue::ShardGauges;
+use crate::verdict::Verdict;
+
+/// The engine's interned metric handles plus the registry they live in.
+pub(crate) struct EngineMetrics {
+    pub registry: Arc<Registry>,
+    /// Packets accepted into flow windows.
+    pub packets_ingested: Arc<Counter>,
+    /// Packets rejected as out-of-order.
+    pub packets_rejected: Arc<Counter>,
+    /// Suspicious flows currently tracked.
+    pub flows_active: Arc<Gauge>,
+    /// Suspicious flows evicted for inactivity.
+    pub flows_evicted: Arc<Counter>,
+    /// Non-latched candidate pairs currently tracked.
+    pub pairs_active: Arc<Gauge>,
+    /// Pairs latched with a `Correlated` verdict.
+    pub pairs_latched: Arc<Counter>,
+    /// Decode jobs accepted onto a shard queue.
+    pub decodes_scheduled: Arc<Counter>,
+    /// Decode jobs completed by workers.
+    pub decodes_run: Arc<Counter>,
+    /// Decode panics caught in worker threads.
+    pub worker_panics: Arc<Counter>,
+    /// Verdicts by kind; summed for `verdicts_emitted`.
+    pub verdicts_correlated: Arc<Counter>,
+    pub verdicts_cleared: Arc<Counter>,
+    pub verdicts_evicted: Arc<Counter>,
+    /// Wall-clock decode latency, recorded by shard workers.
+    pub decode_latency: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Interns every engine metric in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        EngineMetrics {
+            packets_ingested: r.counter(
+                "monitor_packets_ingested_total",
+                "Packets accepted into suspicious flow windows",
+            ),
+            packets_rejected: r.counter(
+                "monitor_packets_rejected_total",
+                "Packets rejected as out-of-order within their flow",
+            ),
+            flows_active: r.gauge("monitor_flows_active", "Suspicious flows currently tracked"),
+            flows_evicted: r.counter(
+                "monitor_flows_evicted_total",
+                "Suspicious flows evicted for inactivity",
+            ),
+            pairs_active: r.gauge(
+                "monitor_pairs_active",
+                "Candidate pairs currently awaiting a verdict",
+            ),
+            pairs_latched: r.counter(
+                "monitor_pairs_latched_total",
+                "Pairs latched with a Correlated verdict",
+            ),
+            decodes_scheduled: r.counter(
+                "monitor_decodes_scheduled_total",
+                "Decode jobs accepted onto a shard queue",
+            ),
+            decodes_run: r.counter(
+                "monitor_decodes_run_total",
+                "Decode jobs completed by shard workers",
+            ),
+            worker_panics: r.counter(
+                "monitor_worker_panics_total",
+                "Decode panics caught in worker threads",
+            ),
+            verdicts_correlated: r.counter_with(
+                "monitor_verdicts_total",
+                &[("kind", "correlated")],
+                "Verdicts emitted, by kind",
+            ),
+            verdicts_cleared: r.counter_with(
+                "monitor_verdicts_total",
+                &[("kind", "cleared")],
+                "Verdicts emitted, by kind",
+            ),
+            verdicts_evicted: r.counter_with(
+                "monitor_verdicts_total",
+                &[("kind", "evicted")],
+                "Verdicts emitted, by kind",
+            ),
+            decode_latency: r.histogram(
+                "monitor_decode_latency_micros",
+                "Wall-clock decode latency in microseconds",
+            ),
+            registry,
+        }
+    }
+
+    /// Counts `verdict` under its kind label.
+    pub fn count_verdict(&self, verdict: &Verdict) {
+        match verdict {
+            Verdict::Correlated { .. } => self.verdicts_correlated.inc(),
+            Verdict::Cleared { .. } => self.verdicts_cleared.inc(),
+            Verdict::Evicted { .. } => self.verdicts_evicted.inc(),
+        }
+    }
+
+    /// Total verdicts emitted, summed across kinds.
+    pub fn verdicts_emitted(&self) -> u64 {
+        self.verdicts_correlated.get() + self.verdicts_cleared.get() + self.verdicts_evicted.get()
+    }
+
+    /// Registers render-time callbacks exposing one shard queue's
+    /// accounting (depth gauge, drop counter, enqueued/dequeued
+    /// conservation pair) under a `shard` label. The callbacks own a
+    /// clone of the gauges, so they stay readable after the engine
+    /// drops its senders at shutdown.
+    pub fn register_shard(&self, shard: usize, gauges: &ShardGauges) {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
+        let g = gauges.clone();
+        self.registry.gauge_fn(
+            "monitor_shard_queue_depth",
+            labels,
+            "Decode jobs sitting unstarted in this shard's queue",
+            move || g.depth() as f64,
+        );
+        let g = gauges.clone();
+        self.registry.counter_fn(
+            "monitor_shard_queue_dropped_total",
+            labels,
+            "Decode attempts dropped because this shard's queue was full",
+            move || g.dropped(),
+        );
+        let g = gauges.clone();
+        self.registry.counter_fn(
+            "monitor_shard_queue_enqueued_total",
+            labels,
+            "Decode jobs accepted onto this shard's queue",
+            move || g.enqueued(),
+        );
+        let g = gauges.clone();
+        self.registry.counter_fn(
+            "monitor_shard_queue_dequeued_total",
+            labels,
+            "Decode jobs handed to this shard's worker",
+            move || g.dequeued(),
+        );
+    }
+}

@@ -35,6 +35,8 @@ pub struct ShardSender<T> {
     tx: SyncSender<T>,
     depth: Arc<AtomicUsize>,
     dropped: Arc<AtomicU64>,
+    enqueued: Arc<AtomicU64>,
+    dequeued: Arc<AtomicU64>,
 }
 
 /// The consuming half of a bounded shard queue. Moved into the shard's
@@ -43,6 +45,7 @@ pub struct ShardSender<T> {
 pub struct ShardReceiver<T> {
     rx: Receiver<T>,
     depth: Arc<AtomicUsize>,
+    dequeued: Arc<AtomicU64>,
 }
 
 /// Creates a bounded queue holding at most `capacity` unstarted jobs.
@@ -50,13 +53,21 @@ pub fn shard_queue<T>(capacity: usize) -> (ShardSender<T>, ShardReceiver<T>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
     let depth = Arc::new(AtomicUsize::new(0));
     let dropped = Arc::new(AtomicU64::new(0));
+    let enqueued = Arc::new(AtomicU64::new(0));
+    let dequeued = Arc::new(AtomicU64::new(0));
     (
         ShardSender {
             tx,
             depth: Arc::clone(&depth),
             dropped,
+            enqueued,
+            dequeued: Arc::clone(&dequeued),
         },
-        ShardReceiver { rx, depth },
+        ShardReceiver {
+            rx,
+            depth,
+            dequeued,
+        },
     )
 }
 
@@ -74,7 +85,12 @@ impl<T> ShardSender<T> {
         // published through it.
         self.depth.fetch_add(1, Ordering::Relaxed);
         match self.tx.try_send(item) {
-            Ok(()) => true,
+            Ok(()) => {
+                // ordering: monotonic conservation counter (enqueued
+                // = dequeued + depth); nothing is published through it.
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 // ordering: undo of the optimistic increment above.
                 self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -98,7 +114,12 @@ impl<T> ShardSender<T> {
         loop {
             // lint: allow(no_panic) the Option is refilled on every Full rejection below
             match self.tx.try_send(item.take().expect("item present")) {
-                Ok(()) => return true,
+                Ok(()) => {
+                    // ordering: monotonic conservation counter; see
+                    // try_push.
+                    self.enqueued.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
                 Err(TrySendError::Full(rejected)) => {
                     item = Some(rejected);
                     pump();
@@ -128,6 +149,12 @@ impl<T> ShardSender<T> {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Jobs accepted onto the queue so far.
+    pub fn enqueued(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
     /// A read-only handle to this queue's gauges that outlives the
     /// sender — stats snapshots stay readable after shutdown drops the
     /// sending side.
@@ -135,15 +162,21 @@ impl<T> ShardSender<T> {
         ShardGauges {
             depth: Arc::clone(&self.depth),
             dropped: Arc::clone(&self.dropped),
+            enqueued: Arc::clone(&self.enqueued),
+            dequeued: Arc::clone(&self.dequeued),
         }
     }
 }
 
-/// Read-only view of one shard queue's depth gauge and drop counter.
-#[derive(Debug)]
+/// Read-only view of one shard queue's accounting: depth gauge, drop
+/// counter, and the enqueued/dequeued conservation pair. Cloneable so
+/// the engine can hand copies to render-time telemetry callbacks.
+#[derive(Debug, Clone)]
 pub struct ShardGauges {
     depth: Arc<AtomicUsize>,
     dropped: Arc<AtomicU64>,
+    enqueued: Arc<AtomicU64>,
+    dequeued: Arc<AtomicU64>,
 }
 
 impl ShardGauges {
@@ -158,6 +191,21 @@ impl ShardGauges {
         // ordering: stat counter read, no synchronization implied.
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Jobs accepted onto the queue so far.
+    pub fn enqueued(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs handed to the worker so far. Once every sender is dropped
+    /// and the queue drained, `enqueued() == dequeued()` and
+    /// `depth() == 0` — the conservation invariant the engine's
+    /// shutdown property test asserts.
+    pub fn dequeued(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.dequeued.load(Ordering::Relaxed)
+    }
 }
 
 impl<T> ShardReceiver<T> {
@@ -168,6 +216,9 @@ impl<T> ShardReceiver<T> {
         // ordering: gauge decrement after the channel handed the job
         // over; the channel itself orders the payload.
         self.depth.fetch_sub(1, Ordering::Relaxed);
+        // ordering: monotonic conservation counter, paired with the
+        // sender's enqueued increment; nothing is published through it.
+        self.dequeued.fetch_add(1, Ordering::Relaxed);
         Some(item)
     }
 
@@ -191,13 +242,21 @@ mod tests {
         assert!(!tx.try_push(3));
         assert_eq!(tx.depth(), 2);
         assert_eq!(tx.dropped(), 1);
+        assert_eq!(tx.enqueued(), 2);
         assert_eq!(rx.recv(), Some(1));
         assert_eq!(tx.depth(), 1);
         assert!(tx.try_push(4));
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), Some(4));
+        let gauges = tx.gauges();
         drop(tx);
         assert_eq!(rx.recv(), None);
+        // Conservation at shutdown: everything accepted was handed
+        // over, and the depth gauge settled back to zero.
+        assert_eq!(gauges.enqueued(), 3);
+        assert_eq!(gauges.dequeued(), 3);
+        assert_eq!(gauges.depth(), 0);
+        assert_eq!(gauges.dropped(), 1);
     }
 
     #[test]

@@ -8,6 +8,11 @@ use std::fmt;
 /// in the final [`MonitorReport`](crate::MonitorReport). Counters are
 /// cumulative over the engine's lifetime; gauges (`flows_active`,
 /// `pairs_active`, `queue_depths`) describe the moment of the snapshot.
+///
+/// The snapshot is a *read-through view over the engine's telemetry
+/// registry* ([`Monitor::registry`](crate::Monitor::registry)): every
+/// field is assembled by reading the same counter and gauge handles the
+/// `/metrics` endpoint renders, so the two can never disagree.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MonitorStats {
     /// Packets accepted into flow windows.
@@ -31,6 +36,12 @@ pub struct MonitorStats {
     pub decodes_dropped: u64,
     /// Jobs sitting unstarted in each shard queue.
     pub queue_depths: Vec<usize>,
+    /// Decode jobs accepted onto shard queues, summed across shards.
+    /// Conservation: `queue_enqueued == queue_dequeued + Σ queue_depths`
+    /// whenever no push is mid-flight (always true at shutdown).
+    pub queue_enqueued: u64,
+    /// Decode jobs handed to shard workers, summed across shards.
+    pub queue_dequeued: u64,
     /// Decode panics caught in worker threads. Each panicking decode is
     /// reported as a failed (non-correlating) completion so its pair
     /// still resolves; nonzero means a correlator bug worth chasing.
@@ -63,8 +74,8 @@ impl fmt::Display for MonitorStats {
         )?;
         write!(
             f,
-            "queues:  {:?} deep; verdicts: {}",
-            self.queue_depths, self.verdicts_emitted
+            "queues:  {:?} deep, {} enqueued, {} dequeued; verdicts: {}",
+            self.queue_depths, self.queue_enqueued, self.queue_dequeued, self.verdicts_emitted
         )
     }
 }

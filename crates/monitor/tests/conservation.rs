@@ -1,0 +1,136 @@
+//! Satellite property: shard-queue drop-counter conservation.
+//!
+//! Every decode attempt either lands on a shard queue (`enqueued`),
+//! or is rejected and counted (`dropped`); everything enqueued is
+//! eventually handed to a worker (`dequeued`) or still sitting in the
+//! queue (`depth`). After [`Monitor::finish`] the queues are drained
+//! and the senders dropped, so the books must balance exactly:
+//!
+//! ```text
+//! enqueued == dequeued + Σ depth      (and Σ depth == 0)
+//! decodes_scheduled == enqueued
+//! decodes_run == dequeued
+//! ```
+//!
+//! The same numbers are exposed per shard on the telemetry registry as
+//! `monitor_shard_queue_{enqueued,dequeued,dropped}_total` and
+//! `monitor_shard_queue_depth`, so the test also re-derives the totals
+//! from the rendered `/metrics` text and checks they agree with the
+//! [`MonitorStats`] snapshot.
+
+use proptest::prelude::*;
+use rand::Rng;
+use stepstone_core::{Algorithm, WatermarkCorrelator};
+use stepstone_flow::{Flow, TimeDelta, Timestamp};
+use stepstone_monitor::{FlowId, Monitor, MonitorConfig, UpstreamId};
+use stepstone_traffic::Seed;
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+
+/// A small scheme so each decode stays cheap: 4 bits, r = 1.
+fn tiny_params() -> WatermarkParams {
+    WatermarkParams {
+        bits: 4,
+        redundancy: 1,
+        offset: 1,
+        adjustment: TimeDelta::from_millis(800),
+        threshold: 1,
+    }
+}
+
+/// A deterministic flow from a seed with irregular spacing.
+fn seeded_flow(seed: u64, packets: usize) -> Flow {
+    let mut rng = Seed::new(seed).rng(0);
+    let mut t = 0i64;
+    let timestamps = (0..packets).map(|_| {
+        t += rng.gen_range(50_000..2_000_000);
+        Timestamp::from_micros(t)
+    });
+    Flow::from_timestamps(timestamps).unwrap()
+}
+
+/// Sums every series of one metric family in Prometheus text output.
+fn family_total(rendered: &str, family: &str) -> u64 {
+    rendered
+        .lines()
+        .filter(|l| l.starts_with(family) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn queue_books_balance_at_shutdown(
+        flow_seed in 0u64..5000,
+        shards in 1usize..4,
+        queue_capacity in 1usize..3,
+        decode_batch in 1usize..8,
+        flows in 1usize..4,
+    ) {
+        let original = seeded_flow(flow_seed, 60);
+        let marker = IpdWatermarker::new(WatermarkKey::new(flow_seed ^ 77), tiny_params());
+        let watermark = Watermark::random(4, &mut WatermarkKey::new(flow_seed).rng(1));
+        let marked = marker.embed(&original, &watermark).unwrap();
+        let correlator = WatermarkCorrelator::new(
+            marker,
+            watermark,
+            TimeDelta::from_secs(3),
+            Algorithm::GreedyPlus,
+        );
+
+        // Tiny queues + small batches force backpressure drops, the
+        // regime where sloppy accounting would show.
+        let mut monitor = Monitor::new(
+            MonitorConfig::default()
+                .with_window_capacity(marked.len())
+                .with_decode_batch(decode_batch)
+                .with_queue_capacity(queue_capacity)
+                .with_shards(shards),
+        );
+        monitor
+            .register_upstream(UpstreamId(0), correlator.bind(&original, &marked).unwrap());
+        for flow in 0..flows {
+            for &packet in marked.packets() {
+                monitor.ingest(FlowId(flow as u64), packet);
+            }
+        }
+        let registry = monitor.registry();
+        let report = monitor.finish();
+        let stats = &report.stats;
+
+        // Conservation at shutdown: queues drained, every accepted job
+        // handed over, every handover completed.
+        prop_assert_eq!(
+            stats.queue_depths.iter().sum::<usize>(), 0,
+            "queues must drain: {}", stats
+        );
+        prop_assert_eq!(stats.queue_enqueued, stats.queue_dequeued, "{}", stats);
+        prop_assert_eq!(stats.decodes_scheduled, stats.queue_enqueued, "{}", stats);
+        prop_assert_eq!(stats.decodes_run, stats.queue_dequeued, "{}", stats);
+
+        // The same books, re-read from the rendered exposition text.
+        let rendered = registry.render_prometheus();
+        prop_assert_eq!(
+            family_total(&rendered, "monitor_shard_queue_enqueued_total"),
+            stats.queue_enqueued
+        );
+        prop_assert_eq!(
+            family_total(&rendered, "monitor_shard_queue_dequeued_total"),
+            stats.queue_dequeued
+        );
+        prop_assert_eq!(
+            family_total(&rendered, "monitor_shard_queue_dropped_total"),
+            stats.decodes_dropped
+        );
+        prop_assert_eq!(family_total(&rendered, "monitor_shard_queue_depth"), 0);
+        // One depth/drop/enqueued/dequeued series per shard.
+        let depth_series = rendered
+            .lines()
+            .filter(|l| l.starts_with("monitor_shard_queue_depth{"))
+            .count();
+        prop_assert_eq!(depth_series, shards);
+    }
+}

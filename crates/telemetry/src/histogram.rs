@@ -1,0 +1,272 @@
+//! Log-bucketed latency histograms with quantile estimation.
+//!
+//! Buckets are powers of two: bucket `i` counts values `v` with
+//! `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`), and the final
+//! bucket is the `+Inf` overflow. Recording is branch-light and
+//! lock-free — a `leading_zeros` to pick the bucket, then two relaxed
+//! atomic adds (bucket count and running sum); no allocation, no
+//! floating point.
+//!
+//! Quantiles are estimated by rank-walking the cumulative bucket
+//! counts and interpolating linearly inside the target bucket. Because
+//! the exact order statistic lies in the same bucket the estimate is
+//! interpolated in, the estimate is off by at most one bucket width —
+//! a relative error bounded by 2× for power-of-two buckets (the
+//! property test in `tests/histogram_props.rs` pins this down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count, `+Inf` overflow included. 40 finite-ish buckets cover
+/// 1 µs .. 2^38 µs (~76 h) — wider than any latency this workspace
+/// can produce.
+pub const BUCKETS: usize = 40;
+
+/// The bucket a value lands in: the smallest `i` with `v <= 2^i`,
+/// capped at the overflow bucket.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        // ceil(log2(v)) for v >= 2.
+        ((64 - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, `None` for the `+Inf`
+/// overflow bucket.
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    (i < BUCKETS - 1).then(|| 1u64 << i)
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (the workspace
+/// records microseconds, but the type is unit-agnostic).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: two relaxed atomic adds, zero allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        // ordering: monotonic stat cells; no memory is published
+        // through them.
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: see above — running total for the `_sum` series.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum. Reads racing
+    /// writers may miss in-flight samples but never tear a sample in
+    /// half across `counts` and `sum` in a way that survives the next
+    /// snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, cell) in counts.iter_mut().zip(&self.counts) {
+            // ordering: stat read, no synchronization implied.
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            // ordering: stat read, no synchronization implied.
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's state; all derived statistics
+/// (count, quantiles, cumulative buckets) are computed here so they
+/// are consistent with each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket counts (not cumulative), overflow bucket last.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Cumulative `(upper_bound, count_less_or_equal)` pairs in bucket
+    /// order; the final pair has `None` for `+Inf` and carries the
+    /// total count. This is exactly the Prometheus `_bucket` series.
+    pub fn cumulative(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        let mut cum = 0u64;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            cum += c;
+            (bucket_upper_bound(i), cum)
+        })
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by interpolating
+    /// within the bucket holding the target rank. Returns `None` for
+    /// an empty histogram. The estimate lies in the same bucket as the
+    /// exact order statistic, so it is within one power-of-two bucket
+    /// width of the truth.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based target rank; q = 0 still needs the first sample.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum_before = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum_before + c >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = match bucket_upper_bound(i) {
+                    Some(hi) => hi,
+                    // Overflow bucket: no finite upper bound; report
+                    // its lower edge (a lower bound on the truth).
+                    None => return Some(lo as f64),
+                };
+                let into = (rank - cum_before) as f64 / c as f64;
+                return Some(lo as f64 + (hi - lo) as f64 * into);
+            }
+            cum_before += c;
+        }
+        // Unreachable: rank <= total and the loop covers every sample;
+        // returning the max finite bound keeps this panic-free anyway.
+        Some((1u64 << (BUCKETS - 2)) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // v <= 1 lands in bucket 0 (le = 1).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Exact powers of two sit at their own upper bound.
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        // Everything beyond the last finite bound overflows.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), Some(1));
+        assert_eq!(bucket_upper_bound(10), Some(1024));
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn every_bucket_boundary_value_lands_inside_its_own_bucket() {
+        for i in 0..BUCKETS - 1 {
+            let le = 1u64 << i;
+            assert_eq!(bucket_index(le), i, "le={le} must map to bucket {i}");
+            assert_eq!(bucket_index(le + 1), i + 1, "le+1 must spill over");
+        }
+    }
+
+    #[test]
+    fn record_fills_counts_and_sum() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4);
+        assert_eq!(snap.sum(), 107);
+        assert_eq!(snap.counts()[0], 1);
+        assert_eq!(snap.counts()[2], 2);
+        assert_eq!(snap.counts()[7], 1); // 64 < 100 <= 128
+    }
+
+    #[test]
+    fn cumulative_series_ends_at_total() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let series: Vec<_> = snap.cumulative().collect();
+        assert_eq!(series.len(), BUCKETS);
+        assert_eq!(series[0], (Some(1), 1));
+        assert_eq!(series[1], (Some(2), 2));
+        assert_eq!(series[2], (Some(4), 3));
+        let (last_bound, last_cum) = series[BUCKETS - 1];
+        assert_eq!(last_bound, None);
+        assert_eq!(last_cum, 4);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50).unwrap();
+        let p95 = snap.quantile(0.95).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Exact p50 = 500 lives in (256, 512]; the estimate must too.
+        assert!((256.0..=512.0).contains(&p50), "{p50}");
+        // Exact p95 = 950 and p99 = 990 live in (512, 1024].
+        assert!((512.0..=1024.0).contains(&p95), "{p95}");
+        assert!((512.0..=1024.0).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_handles_single_sample_and_overflow_bucket() {
+        let h = Histogram::new();
+        h.record(7);
+        assert!((4.0..=8.0).contains(&h.snapshot().quantile(0.5).unwrap()));
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        // Overflow bucket reports its lower edge.
+        let est = h.snapshot().quantile(0.99).unwrap();
+        assert_eq!(est, (1u64 << (BUCKETS - 2)) as f64);
+    }
+}

@@ -1,0 +1,289 @@
+//! A tiny hand-rolled HTTP/1.1 exposition endpoint over
+//! `std::net::TcpListener` — no dependencies, no async runtime.
+//!
+//! Scope is deliberately minimal: `GET /metrics` (Prometheus text),
+//! `GET /healthz` (liveness), `GET /snapshot` (JSON). Connections are
+//! handled one at a time on a single serving thread with short read
+//! and write timeouts, which bounds both concurrency and how long a
+//! slow or malicious client can hold the endpoint; a scrape that
+//! arrives while another is in flight waits in the accept backlog.
+//! That is the right trade for a metrics port — it can never compete
+//! with the pipeline it observes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Per-connection socket timeout: longer than any LAN scrape needs,
+/// short enough that a stalled client cannot wedge the endpoint.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Poll interval of the accept loop while idle; also the upper bound
+/// on how long shutdown takes to be observed.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Longest request head (request line + headers) the server reads.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running metrics endpoint. Dropping the handle signals the serving
+/// thread to exit; [`shutdown`](MetricsServer::shutdown) additionally
+/// joins it.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `registry` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding or inspecting the listener.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("telemetry-http".to_string())
+            .spawn(move || accept_loop(&listener, &registry, &thread_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        // ordering: shutdown flag; the serving thread only polls it,
+        // no data is transferred through it.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            // A panic on the serving thread already tore the endpoint
+            // down; there is nothing further to unwind here.
+            drop(thread.join());
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // ordering: shutdown flag; see shutdown().
+        self.stop.store(true, Ordering::Relaxed);
+        // No join: drop must not block. The thread observes the flag
+        // within ACCEPT_POLL and exits on its own.
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Arc<Registry>, stop: &Arc<AtomicBool>) {
+    // ordering: shutdown flag poll; no memory is transferred.
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept errors (connection reset mid-handshake,
+            // fd pressure): back off briefly and keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>) {
+    // The accepted socket inherits the listener's non-blocking flag on
+    // some platforms; force blocking-with-timeout semantics.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut stream = stream;
+    let Some(path) = read_request_path(&mut stream) else {
+        respond(
+            &mut stream,
+            400,
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = registry.render_prometheus();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/snapshot" => {
+            let body = registry.render_json();
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads the request head (bounded) and returns the path of a `GET`
+/// request line, `None` for anything unreadable or non-GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // A full head already? Only the request line matters; headers
+        // are read (and discarded) just to drain the socket politely.
+        if let Some(head_end) = find_head_end(&buf) {
+            let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+            let mut parts = head.lines().next()?.split_whitespace();
+            let method = parts.next()?;
+            let path = parts.next()?;
+            if method != "GET" {
+                return None;
+            }
+            // Ignore any query string.
+            let path = path.split('?').next().unwrap_or(path);
+            return Some(path.to_string());
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").or_else(|| {
+        // Be liberal: bare-LF clients (netcat, hand-typed requests).
+        buf.windows(2).position(|w| w == b"\n\n")
+    })
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best effort: the client may have gone away; nothing to do then.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut content_type = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("Content-Type:") {
+                content_type = v.trim().to_string();
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status, content_type, body)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_snapshot_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("demo_total", "demo").add(5);
+        registry.histogram("demo_micros", "latency").record(12);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let (status, ctype, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("text/plain"), "{ctype}");
+        assert!(body.contains("demo_total 5"), "{body}");
+        assert!(body.contains("demo_micros_bucket{le=\"16\"} 1"), "{body}");
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, ctype, body) = get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"demo_total\""), "{body}");
+
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // Query strings are routed by bare path.
+        let (status, _, _) = get(addr, "/metrics?x=1");
+        assert_eq!(status, 200);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("400"), "{response}");
+
+        // The endpoint keeps serving after a bad client.
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+}

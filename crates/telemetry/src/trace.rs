@@ -1,0 +1,266 @@
+//! Lightweight tracing spans: a fixed-capacity ring buffer of
+//! `(span id, parent, name, enter µs, exit µs)` events.
+//!
+//! Spans are for *occasional* structure (a decode, a flush, a replay
+//! batch), not per-packet work — the histogram in
+//! [`crate::Histogram`] owns the per-event hot path. Accordingly the
+//! ring is guarded by a mutex, but the hot side only ever `try_lock`s:
+//! a contended (or poisoned) ring drops the event and counts the drop
+//! instead of ever blocking the instrumented thread.
+//!
+//! Span timestamps are microseconds since the owning [`SpanLog`] was
+//! created, so they are comparable within one log without any wall
+//! clock involvement.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, TryLockError};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none); new spans
+    /// record it as their parent.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Unique (per log) span id, starting at 1.
+    pub id: u64,
+    /// Id of the span open on the same thread when this one was
+    /// entered; 0 for a root span.
+    pub parent: u64,
+    /// Static span name.
+    pub name: &'static str,
+    /// Microseconds from log creation to span entry.
+    pub enter_micros: u64,
+    /// Microseconds from log creation to span exit.
+    pub exit_micros: u64,
+}
+
+/// A fixed-capacity ring buffer of completed [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct SpanLog {
+    events: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl SpanLog {
+    /// A log retaining the most recent `capacity` completed spans.
+    /// Capacity 0 keeps nothing (every completed span counts as
+    /// dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since this log was created.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        saturating_micros(self.epoch.elapsed())
+    }
+
+    /// Opens a span; it completes (and is recorded) when the returned
+    /// guard drops. Prefer the [`span!`](crate::span) macro, which
+    /// compiles to a no-op when the `disabled` feature is on.
+    pub fn enter(&self, name: &'static str) -> SpanGuard<'_> {
+        // ordering: id allocation is an independent ticket draw; no
+        // memory is published through it.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| c.replace(id));
+        SpanGuard {
+            log: self,
+            id,
+            parent,
+            name,
+            enter_micros: self.now_micros(),
+        }
+    }
+
+    /// Completed spans currently retained, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        match self.events.lock() {
+            Ok(q) => q.iter().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    /// Spans discarded because the ring was contended or full-rotating
+    /// past them. Monotonic.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        // ordering: stat counter read, no synchronization implied.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retention capacity this log was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a completed event, rotating out the oldest once full.
+    /// Never blocks: a contended ring counts a drop instead.
+    fn push(&self, event: SpanEvent) {
+        let mut q = match self.events.try_lock() {
+            Ok(q) => q,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                // ordering: monotonic stat counter; no memory is
+                // published through it.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if self.capacity == 0 {
+            drop(q);
+            // ordering: monotonic stat counter; see above.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        while q.len() >= self.capacity {
+            // Rotation overwrites history by design; only the ring
+            // falling behind entirely (contention, zero capacity)
+            // counts as a drop, so no counter bump here.
+            q.pop_front();
+        }
+        q.push_back(event);
+    }
+}
+
+/// An open span; records its [`SpanEvent`] into the owning log when
+/// dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    log: &'a SpanLog,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    enter_micros: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.parent));
+        self.log.push(SpanEvent {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            enter_micros: self.enter_micros,
+            exit_micros: self.log.now_micros(),
+        });
+    }
+}
+
+/// `Duration → u64` microseconds, saturating instead of truncating.
+#[must_use]
+pub fn saturating_micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A started stopwatch for the [`time!`](crate::time) macro. With the
+/// `disabled` feature the type is a zero-sized no-op and the whole
+/// `time!` expansion reduces to its body.
+#[derive(Debug)]
+pub struct Timer {
+    #[cfg(not(feature = "disabled"))]
+    started: Instant,
+}
+
+impl Timer {
+    /// Starts timing.
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Timer {
+            #[cfg(not(feature = "disabled"))]
+            started: Instant::now(),
+        }
+    }
+
+    /// Records the elapsed microseconds into `hist` (no-op when the
+    /// `disabled` feature is on).
+    #[inline]
+    pub fn record_into(self, hist: &Histogram) {
+        #[cfg(not(feature = "disabled"))]
+        hist.record(saturating_micros(self.started.elapsed()));
+        #[cfg(feature = "disabled")]
+        let _ = hist;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_and_order() {
+        let log = SpanLog::new(16);
+        {
+            let _outer = log.enter("outer");
+            let _inner = log.enter("inner");
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        // Inner closes first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent, events[1].id);
+        assert_eq!(events[1].parent, 0);
+        assert!(events[0].exit_micros >= events[0].enter_micros);
+    }
+
+    #[test]
+    fn ring_rotates_at_capacity() {
+        let log = SpanLog::new(2);
+        for _ in 0..5 {
+            let _s = log.enter("s");
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        // The two most recent spans survive (ids 4 and 5).
+        assert_eq!(events[0].id, 4);
+        assert_eq!(events[1].id, 5);
+    }
+
+    #[test]
+    fn zero_capacity_counts_every_span_as_dropped() {
+        let log = SpanLog::new(0);
+        {
+            let _s = log.enter("s");
+        }
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let log = SpanLog::new(8);
+        let outer = log.enter("outer");
+        {
+            let _a = log.enter("a");
+        }
+        {
+            let _b = log.enter("b");
+        }
+        drop(outer);
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].parent, events[2].id);
+        assert_eq!(events[1].parent, events[2].id);
+    }
+}

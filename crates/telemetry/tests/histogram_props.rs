@@ -1,0 +1,89 @@
+//! Property tests pinning down the histogram's quantile error bound.
+//!
+//! Buckets are powers of two, so the interpolated estimate and the
+//! exact order statistic always share a bucket `(2^(i-1), 2^i]`; any
+//! two values in that interval are within a factor of two of each
+//! other. These tests assert exactly that bound — for every quantile
+//! the checklist cares about (p50/p95/p99), over arbitrary sample
+//! sets — plus conservation of `count`/`sum` against the raw samples.
+
+use proptest::prelude::*;
+use stepstone_telemetry::Histogram;
+
+const QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// Exact `q`-quantile of `sorted` under the same rank convention the
+/// histogram uses: 1-based rank `clamp(ceil(q * n), 1, n)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimated_quantiles_are_within_factor_two_of_exact(
+        samples in proptest::collection::vec(1u64..2_000_000, 1..300),
+    ) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_quantile(&sorted, q) as f64;
+            let est = snap.quantile(q);
+            prop_assert!(est.is_some(), "non-empty histogram gave no quantile");
+            let est = est.unwrap_or(0.0);
+            // Both live in the same power-of-two bucket, so the
+            // estimate can be at most 2x off in either direction.
+            prop_assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q}: estimate {est} vs exact {exact} (n={})",
+                sorted.len()
+            );
+        }
+    }
+
+    #[test]
+    fn count_and_sum_match_the_raw_samples(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+        // The cumulative series must be monotone and end at the total.
+        let series: Vec<_> = snap.cumulative().collect();
+        let mut prev = 0u64;
+        for &(_, cum) in &series {
+            prop_assert!(cum >= prev, "cumulative series went backwards");
+            prev = cum;
+        }
+        prop_assert_eq!(prev, samples.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(1u64..100_000, 1..200),
+        raw_lo in 0u64..=100,
+        raw_hi in 0u64..=100,
+    ) {
+        let (lo, hi) = if raw_lo <= raw_hi { (raw_lo, raw_hi) } else { (raw_hi, raw_lo) };
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let a = snap.quantile(lo as f64 / 100.0).unwrap_or(0.0);
+        let b = snap.quantile(hi as f64 / 100.0).unwrap_or(0.0);
+        prop_assert!(a <= b, "quantile({lo}%)={a} > quantile({hi}%)={b}");
+    }
+}

@@ -115,6 +115,19 @@ mod tests {
     }
 
     #[test]
+    fn classifies_the_telemetry_crate_like_any_library() {
+        // Telemetry sits on the hottest paths of all; its src files
+        // get the full library rule set (no_panic, ordering_comment,
+        // micros_math, forbid_unsafe at the root).
+        let counter = classify("crates/telemetry/src/metrics.rs");
+        assert_eq!(counter.crate_dir, "telemetry");
+        assert!(counter.is_library);
+        assert!(!counter.is_crate_root);
+        assert!(classify("crates/telemetry/src/lib.rs").is_crate_root);
+        assert!(!classify("crates/telemetry/tests/histogram_props.rs").is_library);
+    }
+
+    #[test]
     fn non_library_paths() {
         assert!(!classify("crates/monitor/tests/props.rs").is_library);
         assert!(!classify("tests/pipeline.rs").is_library);

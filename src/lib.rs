@@ -24,6 +24,7 @@
 //! | [`experiments`] | `stepstone-experiments` | the paper's tables and figures |
 //! | [`monitor`] | `stepstone-monitor` | online multi-flow correlation engine |
 //! | [`ingest`] | `stepstone-ingest` | pcap/pcapng wire ingestion, flow demux, replay clock |
+//! | [`telemetry`] | `stepstone-telemetry` | lock-free metrics, tracing spans, `/metrics` endpoint |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use stepstone_matching as matching;
 pub use stepstone_monitor as monitor;
 pub use stepstone_netsim as netsim;
 pub use stepstone_stats as stats;
+pub use stepstone_telemetry as telemetry;
 pub use stepstone_traffic as traffic;
 pub use stepstone_watermark as watermark;
 
