@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
 use stepstone_core::{Algorithm, BoundCorrelator, WatermarkCorrelator};
 use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
-use stepstone_monitor::{FlowId, Monitor, MonitorConfig, UpstreamId};
+use stepstone_monitor::{
+    DecodeFault, FaultHook, FlowId, Monitor, MonitorConfig, PairId, UpstreamId,
+};
 use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
 use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
 
@@ -70,22 +72,35 @@ fn scenario(pairs: usize) -> (BoundCorrelator, Vec<(FlowId, Packet)>) {
     (bound, events)
 }
 
-/// Replays the prepared stream through a fresh engine.
-fn replay(bound: &BoundCorrelator, events: &[(FlowId, Packet)], shards: usize) -> u64 {
+/// Replays the prepared stream through a fresh engine, optionally with
+/// a fault hook armed.
+fn replay_hooked(
+    bound: &BoundCorrelator,
+    events: &[(FlowId, Packet)],
+    shards: usize,
+    hook: Option<FaultHook>,
+) -> u64 {
     // Queue capacity is sized so no decode is ever dropped: both shard
     // counts then run the same decode work and the comparison isolates
     // scheduling overhead vs. parallelism.
-    let mut monitor = Monitor::new(
-        MonitorConfig::default()
-            .with_shards(shards)
-            .with_decode_batch(64)
-            .with_queue_capacity(256),
-    );
+    let mut config = MonitorConfig::default()
+        .with_shards(shards)
+        .with_decode_batch(64)
+        .with_queue_capacity(256);
+    if let Some(hook) = hook {
+        config = config.with_fault_hook(hook);
+    }
+    let mut monitor = Monitor::new(config);
     monitor.register_upstream(UpstreamId(0), bound.clone());
     for &(flow, packet) in events {
         monitor.ingest(flow, packet);
     }
     monitor.finish().stats.decodes_run
+}
+
+/// Replays the prepared stream through a fresh engine.
+fn replay(bound: &BoundCorrelator, events: &[(FlowId, Packet)], shards: usize) -> u64 {
+    replay_hooked(bound, events, shards, None)
 }
 
 fn monitor_throughput(c: &mut Criterion) {
@@ -112,5 +127,46 @@ fn monitor_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, monitor_throughput);
+/// Chaos-off vs chaos-armed-but-idle: the same 8-pair replay with no
+/// hook installed and with a [`FaultHook`] that always answers
+/// [`DecodeFault::None`]. The armed hook exercises the full injection
+/// seam — one `Option` check plus one `Arc<dyn Fn>` dispatch per
+/// decode — without firing a single fault, so the pair of numbers
+/// bounds what the seams cost a production (chaos-off) deployment.
+fn chaos_seam_overhead(c: &mut Criterion) {
+    let (bound, events) = scenario(8);
+    let mut group = c.benchmark_group("chaos_seam_overhead");
+    // Worker spawn/join jitter dominates a single replay; a larger
+    // sample keeps the median stable enough to bound a percent-level
+    // difference.
+    group.sample_size(40);
+    group.bench_function("pairs8/chaos_off", |b| {
+        b.iter(|| replay_hooked(&bound, &events, 1, None))
+    });
+    group.bench_function("pairs8/chaos_armed_idle", |b| {
+        b.iter(|| {
+            let idle = FaultHook::new(|_, _| DecodeFault::None);
+            replay_hooked(&bound, &events, 1, Some(idle))
+        })
+    });
+    // The seam in isolation: one armed-but-idle oracle consultation,
+    // exactly what each decode pays over the unarmed `Option` check.
+    // The end-to-end pair above sits inside worker spawn/join noise, so
+    // this is the number that actually bounds the per-decode cost.
+    group.bench_function("hook_dispatch", |b| {
+        let idle = FaultHook::new(|_, _| DecodeFault::None);
+        let pair = PairId {
+            upstream: UpstreamId(0),
+            flow: FlowId(0),
+        };
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            std::hint::black_box(idle.fault(std::hint::black_box(seq), pair))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, monitor_throughput, chaos_seam_overhead);
 criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Flow-layer faults: packet deletion, chaff bursts, and bounded extra
+//! delay applied to demuxed `(FlowId, Packet)` events before they reach
+//! the engine.
+//!
+//! This is the paper's own adversary model (§2: bounded delay plus
+//! chaff) aimed at the *runtime* instead of the watermark: deliveries
+//! disappear, bursts of chaff arrive mid-flow, and packets show up
+//! later than the tap saw them. Extra delay deliberately interacts with
+//! the monitor's per-flow FIFO ordering — a delayed packet that lands
+//! behind its successor is rejected and counted, which is exactly the
+//! degradation being rehearsed.
+
+use stepstone_flow::{Packet, TimeDelta};
+use stepstone_monitor::FlowId;
+
+use crate::plan::{Profile, TAG_FLOW};
+use crate::rng::{mix, SplitMix64};
+
+/// Wire size used for injected chaff, matching the generator's chaff
+/// sizing so injected packets are not trivially distinguishable.
+const CHAFF_BYTES: u32 = 48;
+
+/// Flow-layer fault rates, derived from a plan's seed and profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowFaults {
+    seed: u64,
+    /// Per-event deletion probability.
+    pub delete: f64,
+    /// Per-event probability of a trailing chaff burst.
+    pub chaff_burst: f64,
+    /// Maximum packets per chaff burst (bursts draw `1..=burst_max`).
+    pub burst_max: u64,
+    /// Per-event probability of extra delivery delay.
+    pub delay: f64,
+    /// Maximum extra delay added to a delivery.
+    pub delay_max: TimeDelta,
+}
+
+/// The fault decision for one flow event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDecision {
+    /// Delete the event entirely.
+    pub delete: bool,
+    /// Chaff packets to append after the event (0 = none).
+    pub burst: u64,
+    /// Extra delivery delay for the event and its burst.
+    pub delay: TimeDelta,
+}
+
+impl FlowDecision {
+    /// Packs the decision into one word for schedule digests.
+    pub fn encode(&self) -> u64 {
+        let delay_micros = self.delay.as_micros();
+        u64::from(self.delete) | (self.burst << 1) | ((delay_micros as u64) << 8)
+    }
+}
+
+impl FlowFaults {
+    pub(crate) fn from_plan(seed: u64, profile: Profile) -> Self {
+        let (delete, chaff_burst, burst_max, delay, delay_max_millis) = match profile {
+            Profile::Mild => (0.002, 0.001, 2, 0.01, 2),
+            Profile::Harsh => (0.02, 0.01, 4, 0.05, 100),
+            Profile::Adversarial => (0.10, 0.05, 8, 0.10, 500),
+        };
+        FlowFaults {
+            seed,
+            delete,
+            chaff_burst,
+            burst_max,
+            delay,
+            delay_max: TimeDelta::from_millis(delay_max_millis),
+        }
+    }
+
+    /// The fault decision for flow event number `index` (0-based, in
+    /// delivery order across all flows). Index-addressed.
+    pub fn decision(&self, index: u64) -> FlowDecision {
+        let mut r = SplitMix64::new(mix(self.seed, TAG_FLOW, index));
+        let delete = r.chance(self.delete);
+        let burst = if !delete && r.chance(self.chaff_burst) {
+            1 + r.below(self.burst_max)
+        } else {
+            0
+        };
+        let delay = if !delete && r.chance(self.delay) {
+            let span = self.delay_max.as_micros();
+            TimeDelta::from_micros(r.below(span as u64 + 1) as i64)
+        } else {
+            TimeDelta::ZERO
+        };
+        FlowDecision {
+            delete,
+            burst,
+            delay,
+        }
+    }
+
+    /// A fresh stateful injector walking this layer's decision stream
+    /// from event 0.
+    pub fn injector(&self) -> FlowFaultInjector {
+        FlowFaultInjector {
+            faults: *self,
+            index: 0,
+        }
+    }
+}
+
+/// Applies [`FlowFaults`] decisions to a stream of demuxed events.
+#[derive(Debug, Clone)]
+pub struct FlowFaultInjector {
+    faults: FlowFaults,
+    index: u64,
+}
+
+impl FlowFaultInjector {
+    /// Transforms one demuxed event into the deliveries the engine
+    /// should actually see (possibly none, possibly several), appending
+    /// them to `out` in delivery order.
+    pub fn apply(&mut self, flow: FlowId, packet: Packet, out: &mut Vec<(FlowId, Packet)>) {
+        let decision = self.faults.decision(self.index);
+        self.index += 1;
+        if decision.delete {
+            return;
+        }
+        let delivered_at = packet.timestamp() + decision.delay;
+        out.push((flow, Packet::new(delivered_at, packet.size())));
+        let mut spacing = SplitMix64::new(mix(self.faults.seed, TAG_FLOW ^ 0xC4, self.index));
+        let mut at = delivered_at;
+        for _ in 0..decision.burst {
+            let gap_micros = 1 + spacing.below(1000) as i64;
+            at += TimeDelta::from_micros(gap_micros);
+            out.push((flow, Packet::chaff(at, CHAFF_BYTES)));
+        }
+    }
+
+    /// Events consumed so far (the next decision index).
+    pub fn events(&self) -> u64 {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+
+    fn harsh(seed: u64) -> FlowFaults {
+        FlowFaults::from_plan(seed, Profile::Harsh)
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_bounded() {
+        let faults = harsh(5);
+        for i in 0..512 {
+            let d = faults.decision(i);
+            assert_eq!(d, faults.decision(i));
+            assert!(d.burst <= faults.burst_max);
+            assert!(TimeDelta::ZERO <= d.delay && d.delay <= faults.delay_max);
+            if d.delete {
+                assert_eq!(d.burst, 0);
+                assert_eq!(d.delay, TimeDelta::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn injector_replays_identically() {
+        let events: Vec<(FlowId, Packet)> = (0..256)
+            .map(|i| {
+                (
+                    FlowId(i % 3),
+                    Packet::new(Timestamp::from_micros(i as i64 * 500), 64),
+                )
+            })
+            .collect();
+        let run = || {
+            let mut injector = harsh(13).injector();
+            let mut out = Vec::new();
+            for &(flow, packet) in &events {
+                injector.apply(flow, packet, &mut out);
+            }
+            out
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // Harsh rates over 256 events: some deletions and some bursts
+        // are overwhelmingly likely, so the output length moved.
+        assert_ne!(a.len(), events.len());
+    }
+
+    #[test]
+    fn deliveries_preserve_flow_identity_and_order_per_event() {
+        let mut injector = harsh(99).injector();
+        let mut out = Vec::new();
+        injector.apply(
+            FlowId(7),
+            Packet::new(Timestamp::from_secs(1), 64),
+            &mut out,
+        );
+        for (flow, _) in &out {
+            assert_eq!(*flow, FlowId(7));
+        }
+        for pair in out.windows(2) {
+            assert!(pair[0].1.timestamp() <= pair[1].1.timestamp());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Runtime-layer faults: scheduled worker kills, contained decode
+//! panics, and slow-decode sleeps, expressed as a
+//! [`FaultHook`](stepstone_monitor::FaultHook) the engine consults once
+//! per decode.
+//!
+//! The decision stream is addressed by the engine's global decode
+//! sequence number, so the *schedule* (which decode numbers fault, and
+//! how) is a pure function of the seed even though which pair a given
+//! decode number lands on depends on thread interleaving.
+
+use stepstone_monitor::{DecodeFault, FaultHook};
+
+use crate::plan::{Profile, TAG_RUNTIME};
+use crate::rng::{mix, SplitMix64};
+
+/// Runtime-layer fault rates, derived from a plan's seed and profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeFaults {
+    seed: u64,
+    /// Per-decode probability of a contained panic (worker survives).
+    pub panic_decode: f64,
+    /// Per-decode probability of killing the worker thread (the
+    /// supervisor restarts it).
+    pub kill_worker: f64,
+    /// Per-decode probability of an artificial pre-decode sleep.
+    pub slow_decode: f64,
+    /// Maximum sleep in microseconds.
+    pub slow_max_micros: u64,
+}
+
+impl RuntimeFaults {
+    pub(crate) fn from_plan(seed: u64, profile: Profile) -> Self {
+        let (panic_decode, kill_worker, slow_decode, slow_max_micros) = match profile {
+            Profile::Mild => (0.0, 0.0, 0.01, 500),
+            Profile::Harsh => (0.02, 0.02, 0.05, 2_000),
+            Profile::Adversarial => (0.05, 0.05, 0.10, 5_000),
+        };
+        RuntimeFaults {
+            seed,
+            panic_decode,
+            kill_worker,
+            slow_decode,
+            slow_max_micros,
+        }
+    }
+
+    /// The fault for decode sequence number `seq`. Index-addressed.
+    pub fn decision(&self, seq: u64) -> DecodeFault {
+        let mut r = SplitMix64::new(mix(self.seed, TAG_RUNTIME, seq));
+        if r.chance(self.kill_worker) {
+            return DecodeFault::KillWorker;
+        }
+        if r.chance(self.panic_decode) {
+            return DecodeFault::Panic;
+        }
+        if r.chance(self.slow_decode) {
+            return DecodeFault::Sleep(1 + r.below(self.slow_max_micros));
+        }
+        DecodeFault::None
+    }
+
+    /// The first `n` decisions — the runtime layer's fault schedule.
+    pub fn schedule(&self, n: u64) -> Vec<DecodeFault> {
+        (0..n).map(|seq| self.decision(seq)).collect()
+    }
+
+    /// This layer as an engine [`FaultHook`].
+    pub fn hook(&self) -> FaultHook {
+        let faults = *self;
+        FaultHook::new(move |seq, _pair| faults.decision(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = RuntimeFaults::from_plan(7, Profile::Harsh).schedule(4096);
+        let b = RuntimeFaults::from_plan(7, Profile::Harsh).schedule(4096);
+        assert_eq!(a, b);
+        let c = RuntimeFaults::from_plan(8, Profile::Harsh).schedule(4096);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mild_profile_never_panics_or_kills() {
+        for fault in RuntimeFaults::from_plan(3, Profile::Mild).schedule(4096) {
+            assert!(
+                !matches!(fault, DecodeFault::Panic | DecodeFault::KillWorker),
+                "{fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn harsh_profile_schedules_kills_and_sleeps() {
+        let schedule = RuntimeFaults::from_plan(1, Profile::Harsh).schedule(4096);
+        assert!(schedule.contains(&DecodeFault::KillWorker));
+        assert!(schedule.contains(&DecodeFault::Panic));
+        assert!(schedule.iter().any(|f| matches!(f, DecodeFault::Sleep(_))));
+        for fault in &schedule {
+            if let DecodeFault::Sleep(us) = fault {
+                assert!(*us >= 1 && *us <= 2_000);
+            }
+        }
+    }
+
+    #[test]
+    fn hook_matches_the_schedule() {
+        let faults = RuntimeFaults::from_plan(5, Profile::Adversarial);
+        let hook = faults.hook();
+        let pair = stepstone_monitor::PairId {
+            upstream: stepstone_monitor::UpstreamId(0),
+            flow: stepstone_monitor::FlowId(0),
+        };
+        for seq in 0..512 {
+            assert_eq!(hook.fault(seq, pair), faults.decision(seq));
+        }
+    }
+}

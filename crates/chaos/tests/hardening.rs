@@ -1,0 +1,170 @@
+//! Parser hardening under seeded wire faults: a [`FaultPlan`]-mutated
+//! capture — classic pcap *and* pcapng — must never panic either
+//! reader and must always terminate, whether read directly or through
+//! the full wire-adapter + demux composition.
+//!
+//! This is the chaos-side counterpart of the ingest crate's own
+//! `tests/hardening.rs` (arbitrary-byte fuzzing): here the corruption
+//! comes from the exact schedules `--chaos` replays, so any
+//! counterexample proptest finds is reproducible from its seed alone.
+
+use proptest::prelude::*;
+use stepstone_chaos::{FaultPlan, Profile};
+use stepstone_flow::{Flow, FlowBuilder, Packet, Timestamp};
+use stepstone_ingest::{
+    build_frame, parse_capture, write_flows, FiveTuple, FlowDemux, IngestError,
+};
+
+/// Far above anything a valid mutation can produce (the sample
+/// captures hold tens of records; duplication at most doubles them).
+/// Hitting this cap means a reader stopped terminating.
+const RECORD_CAP: usize = 100_000;
+
+fn sample_flow() -> Flow {
+    let mut b = FlowBuilder::new();
+    for i in 0..24i64 {
+        b.push(Packet::new(Timestamp::from_micros(i * 250_000), 64))
+            .unwrap();
+    }
+    b.finish()
+}
+
+fn pcap_capture() -> Vec<u8> {
+    let flow = sample_flow();
+    let tuple_a = FiveTuple::udp_v4([10, 0, 0, 1], 4000, [10, 0, 0, 2], 4001);
+    let tuple_b = FiveTuple::tcp_v4([10, 0, 0, 3], 3022, [10, 0, 0, 2], 22);
+    let mut bytes = Vec::new();
+    write_flows(&mut bytes, &[(tuple_a, &flow), (tuple_b, &flow)]).unwrap();
+    bytes
+}
+
+/// A minimal little-endian pcapng capture: SHB + IDB + one EPB per
+/// packet of the sample flow, mirroring the layout the pcapng reader's
+/// unit tests use.
+fn pcapng_capture() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let u16 = |b: &mut Vec<u8>, v: u16| b.extend_from_slice(&v.to_le_bytes());
+    let u32 = |b: &mut Vec<u8>, v: u32| b.extend_from_slice(&v.to_le_bytes());
+    // SHB: type, len 28, byte-order magic, version 1.0, section len -1.
+    u32(&mut bytes, 0x0A0D_0D0A);
+    u32(&mut bytes, 28);
+    u32(&mut bytes, 0x1A2B_3C4D);
+    u16(&mut bytes, 1);
+    u16(&mut bytes, 0);
+    u32(&mut bytes, 0xFFFF_FFFF);
+    u32(&mut bytes, 0xFFFF_FFFF);
+    u32(&mut bytes, 28);
+    // IDB: Ethernet, no options.
+    u32(&mut bytes, 0x0000_0001);
+    u32(&mut bytes, 20);
+    u16(&mut bytes, 1);
+    u16(&mut bytes, 0);
+    u32(&mut bytes, 65_535);
+    u32(&mut bytes, 20);
+    // One EPB per packet (µs ticks, frame padded to 4).
+    let tuple = FiveTuple::udp_v4([10, 0, 0, 5], 4100, [10, 0, 0, 6], 4101);
+    let frame = build_frame(&tuple, 64).unwrap();
+    for packet in sample_flow().packets() {
+        let ticks = packet.timestamp().as_micros() as u64;
+        let padded = frame.len().div_ceil(4) * 4;
+        let total = (32 + padded) as u32;
+        u32(&mut bytes, 0x0000_0006);
+        u32(&mut bytes, total);
+        u32(&mut bytes, 0);
+        u32(&mut bytes, (ticks >> 32) as u32);
+        u32(&mut bytes, ticks as u32);
+        u32(&mut bytes, frame.len() as u32);
+        u32(&mut bytes, frame.len() as u32);
+        bytes.extend_from_slice(&frame);
+        bytes.extend_from_slice(&vec![0u8; padded - frame.len()]);
+        u32(&mut bytes, total);
+    }
+    bytes
+}
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (0u8..3).prop_map(|i| match i {
+        0 => Profile::Mild,
+        1 => Profile::Harsh,
+        _ => Profile::Adversarial,
+    })
+}
+
+/// Reads every record of `bytes`, asserting clean error classes and
+/// bounded termination. Returns how many records came out.
+fn read_to_end(bytes: &[u8]) -> Result<usize, TestCaseError> {
+    match parse_capture(bytes) {
+        Ok(iter) => {
+            let mut n = 0usize;
+            for record in iter.take(RECORD_CAP) {
+                n += 1;
+                if record.is_err() {
+                    break; // fused: the first error ends the stream
+                }
+            }
+            prop_assert!(n < RECORD_CAP, "reader failed to terminate");
+            Ok(n)
+        }
+        Err(
+            IngestError::BadMagic
+            | IngestError::Truncated { .. }
+            | IngestError::Malformed { .. }
+            | IngestError::UnsupportedLinkType(_),
+        ) => Ok(0),
+        Err(other) => {
+            prop_assert!(false, "unexpected error class: {other:?}");
+            unreachable!()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Seeded wire mutation of a classic pcap: the reader never
+    /// panics and always terminates, at every profile.
+    #[test]
+    fn mutated_pcap_never_panics(seed in 0u64..u64::MAX, profile in profile_strategy()) {
+        let mut bytes = pcap_capture();
+        FaultPlan::new(seed, profile).wire().mutate_bytes(&mut bytes);
+        read_to_end(&bytes)?;
+    }
+
+    /// The same guarantee for the pcapng reader.
+    #[test]
+    fn mutated_pcapng_never_panics(seed in 0u64..u64::MAX, profile in profile_strategy()) {
+        let mut bytes = pcapng_capture();
+        FaultPlan::new(seed, profile).wire().mutate_bytes(&mut bytes);
+        read_to_end(&bytes)?;
+    }
+
+    /// The full wire composition — mutated bytes, then the record
+    /// fault adapter, then the flow demux — still terminates with the
+    /// demux books intact: every record that survives the wire either
+    /// becomes a flow packet or is ignored/clamped, never lost.
+    #[test]
+    fn composed_adapter_and_demux_stay_consistent(
+        seed in 0u64..u64::MAX,
+        profile in profile_strategy(),
+        ng in 0u8..2,
+    ) {
+        let mut bytes = if ng == 1 { pcapng_capture() } else { pcap_capture() };
+        let wire = FaultPlan::new(seed, profile).wire();
+        wire.mutate_bytes(&mut bytes);
+        let Ok(iter) = parse_capture(&bytes) else { return Ok(()) };
+        let mut demux = FlowDemux::new();
+        let mut records = 0usize;
+        for record in wire.adapt(iter).take(RECORD_CAP) {
+            let Ok(record) = record else { break };
+            records += 1;
+            demux.push(&record);
+        }
+        prop_assert!(records < RECORD_CAP, "composition failed to terminate");
+        let (flows, stats) = demux.finish();
+        // Every accepted packet lands in exactly one assembled flow
+        // (clamped packets are kept; ignored records never count).
+        let demuxed: usize = flows.iter().map(|f| f.flow.len()).sum();
+        prop_assert_eq!(demuxed as u64, stats.packets, "demux conservation: {:?}", stats);
+        prop_assert!(stats.ignored + stats.packets <= records as u64);
+    }
+}

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use stepstone_chaos::FaultPlan;
 use stepstone_experiments::{ablations, diagnostics, figures, live, ExperimentConfig, Scale};
 use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
              [--pairs N] [--decoys N] [--shards N] [--packets N]
              [--pcap FILE] [--replay fast|real|xN]
+             [--chaos SEED[:mild|harsh|adversarial]]
              [--metrics-addr HOST:PORT] <target>...
 targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all";
 
@@ -57,6 +59,8 @@ struct Options {
     pcap: Option<PathBuf>,
     /// Pacing for `--pcap` replay.
     replay: ReplayClock,
+    /// `monitor` runs under this seed-deterministic fault plan.
+    chaos: Option<FaultPlan>,
     /// `monitor` serves live telemetry here (e.g. `127.0.0.1:9184`,
     /// or port `0` for an ephemeral one) and keeps the endpoint up
     /// after the report prints, until the process is killed.
@@ -75,6 +79,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut packets = None;
     let mut pcap = None;
     let mut replay = ReplayClock::Fast;
+    let mut chaos = None;
     let mut metrics_addr = None;
     let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
@@ -112,6 +117,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--replay needs a value")?;
                 replay = v.parse().map_err(|e| format!("{e}"))?;
             }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs SEED[:PROFILE]")?;
+                chaos = Some(FaultPlan::parse(v).map_err(|e| format!("bad --chaos: {e}"))?);
+            }
             "--metrics-addr" => {
                 metrics_addr = Some(
                     it.next()
@@ -142,6 +151,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         packets,
         pcap,
         replay,
+        chaos,
         metrics_addr,
     })
 }
@@ -195,18 +205,29 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
                 None => None,
             };
             let registry = server.as_ref().map(|(_, r)| Arc::clone(r));
+            if let Some(plan) = &opts.chaos {
+                eprintln!(
+                    "chaos plan {plan}: schedule digest {:016x}",
+                    plan.schedule_digest(4096)
+                );
+            }
             if let Some(path) = &opts.pcap {
                 // Wire mode: correlators come from the scale-independent
                 // wire scenario, packets from the capture file.
                 let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
                 let bytes =
                     fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                let report = live::replay_pcap_with(&scenario, &bytes, opts.replay, registry)
-                    .map_err(|e| format!("monitor: {e}"))?;
+                let report = match &opts.chaos {
+                    Some(plan) => {
+                        live::replay_pcap_chaos(&scenario, &bytes, opts.replay, registry, plan)
+                    }
+                    None => live::replay_pcap_with(&scenario, &bytes, opts.replay, registry),
+                }
+                .map_err(|e| format!("monitor: {e}"))?;
                 println!("{report}");
             } else {
                 let scenario = apply_overrides(live::LiveScenario::from_config(cfg), opts)?;
-                let report = live::replay_with(&scenario, registry)
+                let report = live::replay_chaos_with(&scenario, registry, opts.chaos.as_ref())
                     .map_err(|e| format!("monitor: cannot build the scenario corpus: {e}"))?;
                 println!("{report}");
             }

@@ -13,10 +13,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
+use stepstone_chaos::FaultPlan;
 use stepstone_core::{Algorithm, WatermarkCorrelator};
 use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
 use stepstone_ingest::{
-    replay_capture, write_flows, FiveTuple, IngestError, ReplayClock, ReplayOutcome,
+    parse_capture, replay_capture, replay_records_with, write_flows, FiveTuple, IngestError,
+    ReplayClock, ReplayOutcome,
 };
 use stepstone_monitor::{FlowId, Monitor, MonitorConfig, MonitorStats, UpstreamId, Verdict};
 use stepstone_telemetry::Registry;
@@ -137,6 +139,9 @@ pub struct LiveReport {
     pub false_positives: usize,
     /// True pairs the monitor failed to detect.
     pub missed: usize,
+    /// Pairs that ended degraded (worker lost, stalled, or shed) —
+    /// always 0 without a fault plan.
+    pub degraded: usize,
     /// Final engine counters.
     pub stats: MonitorStats,
 }
@@ -168,8 +173,8 @@ impl fmt::Display for LiveReport {
         )?;
         writeln!(
             f,
-            "detection:      {}/{} true pairs, {} false positives, {} missed",
-            self.true_positives, s.upstreams, self.false_positives, self.missed
+            "detection:      {}/{} true pairs, {} false positives, {} missed, {} degraded",
+            self.true_positives, s.upstreams, self.false_positives, self.missed, self.degraded
         )?;
         write!(f, "{}", self.stats)
     }
@@ -192,6 +197,7 @@ struct Corpus {
 fn build_corpus(
     scenario: &LiveScenario,
     registry: Option<Arc<Registry>>,
+    chaos: Option<&FaultPlan>,
 ) -> Result<Corpus, WatermarkError> {
     let attack = |flow: &Flow, seed: Seed| {
         AdversaryPipeline::new()
@@ -214,6 +220,11 @@ fn build_corpus(
         .with_decode_batch(scenario.decode_batch);
     if let Some(registry) = registry {
         config = config.with_registry(registry);
+    }
+    if let Some(plan) = chaos {
+        // Arms both sides: the runtime fault hook *and* the matching
+        // degradation policy (shedding, stall detection, fast restarts).
+        config = plan.arm_monitor(config);
     }
     let mut monitor = Monitor::new(config);
     let mut suspicious: Vec<(FlowId, Flow)> = Vec::new();
@@ -258,10 +269,23 @@ pub fn replay_with(
     scenario: &LiveScenario,
     registry: Option<Arc<Registry>>,
 ) -> Result<LiveReport, WatermarkError> {
+    replay_chaos_with(scenario, registry, None)
+}
+
+/// [`replay_with`] under a [`FaultPlan`]: the monitor is armed with the
+/// plan's runtime faults and degradation policy, and the in-memory
+/// event stream passes through the plan's flow-fault layer (deletion,
+/// chaff bursts, bounded extra delay) on its way into the engine. There
+/// is no wire in this mode, so the wire layer does not apply.
+pub fn replay_chaos_with(
+    scenario: &LiveScenario,
+    registry: Option<Arc<Registry>>,
+    chaos: Option<&FaultPlan>,
+) -> Result<LiveReport, WatermarkError> {
     let Corpus {
         mut monitor,
         suspicious,
-    } = build_corpus(scenario, registry)?;
+    } = build_corpus(scenario, registry, chaos)?;
 
     // One time-ordered stream across all suspicious flows, as a tap on
     // the monitored link would deliver it.
@@ -271,33 +295,61 @@ pub fn replay_with(
         .collect();
     events.sort_by_key(|&(_, p)| p.timestamp());
 
+    let mut injector = chaos.map(|plan| plan.flow_injector());
+    let mut deliveries: Vec<(FlowId, Packet)> = Vec::new();
     let started = Instant::now();
+    let mut delivered = 0usize;
     for &(flow, packet) in &events {
-        monitor.ingest(flow, packet);
+        deliveries.clear();
+        match injector.as_mut() {
+            Some(injector) => injector.apply(flow, packet, &mut deliveries),
+            None => deliveries.push((flow, packet)),
+        }
+        for &(flow, packet) in &deliveries {
+            monitor.ingest(flow, packet);
+            delivered += 1;
+        }
     }
     let report = monitor.finish();
     let elapsed = started.elapsed();
 
-    let mut true_positives = 0;
-    let mut false_positives = 0;
-    for v in &report.verdicts {
-        if let Verdict::Correlated { pair, .. } = v {
-            if pair.upstream.0 == pair.flow.0 {
-                true_positives += 1;
-            } else {
-                false_positives += 1;
-            }
-        }
-    }
+    let (true_positives, false_positives, degraded) =
+        score_verdicts(&report.verdicts, |pair| pair.upstream.0 == pair.flow.0);
     Ok(LiveReport {
         scenario: scenario.clone(),
-        events: events.len(),
+        events: delivered,
         elapsed,
         true_positives,
         false_positives,
         missed: scenario.upstreams - true_positives,
+        degraded,
         stats: report.stats,
     })
+}
+
+/// Tallies correlated verdicts into true/false positives (per the
+/// caller's notion of a true pair) and counts degraded pairs.
+fn score_verdicts<F>(verdicts: &[Verdict], is_true_pair: F) -> (usize, usize, usize)
+where
+    F: Fn(&stepstone_monitor::PairId) -> bool,
+{
+    let mut true_positives = 0;
+    let mut false_positives = 0;
+    let mut degraded = 0;
+    for v in verdicts {
+        match v {
+            Verdict::Correlated { pair, .. } => {
+                if is_true_pair(pair) {
+                    true_positives += 1;
+                } else {
+                    false_positives += 1;
+                }
+            }
+            Verdict::Degraded { .. } => degraded += 1,
+            _ => {}
+        }
+    }
+    (true_positives, false_positives, degraded)
 }
 
 /// What can go wrong on the wire-format path: corpus synthesis
@@ -349,7 +401,7 @@ impl From<IngestError> for LivePcapError {
 /// today replays against a monitor rebuilt from the same scenario
 /// tomorrow — that is how the `tests/data/sample.pcap` fixture works.
 pub fn export_pcap(scenario: &LiveScenario) -> Result<Vec<u8>, LivePcapError> {
-    let corpus = build_corpus(scenario, None)?;
+    let corpus = build_corpus(scenario, None, None)?;
     let tagged: Vec<(FiveTuple, &Flow)> = corpus
         .suspicious
         .iter()
@@ -375,6 +427,9 @@ pub struct PcapReport {
     pub false_positives: usize,
     /// True pairs the monitor failed to detect.
     pub missed: usize,
+    /// Pairs that ended degraded (worker lost, stalled, or shed) —
+    /// always 0 without a fault plan.
+    pub degraded: usize,
 }
 
 impl PcapReport {
@@ -407,9 +462,12 @@ impl fmt::Display for PcapReport {
         )?;
         writeln!(
             f,
-            "detection:      {}/{} true pairs, {} false positives, {} missed",
-            self.true_positives, s.upstreams, self.false_positives, self.missed
+            "detection:      {}/{} true pairs, {} false positives, {} missed, {} degraded",
+            self.true_positives, s.upstreams, self.false_positives, self.missed, self.degraded
         )?;
+        if let Some(err) = &o.stream_error {
+            writeln!(f, "stream error:   capture tail abandoned: {err}")?;
+        }
         write!(f, "{}", o.monitor_stats)
     }
 }
@@ -438,9 +496,50 @@ pub fn replay_pcap_with(
     clock: ReplayClock,
     registry: Option<Arc<Registry>>,
 ) -> Result<PcapReport, LivePcapError> {
-    let corpus = build_corpus(scenario, registry)?;
+    let corpus = build_corpus(scenario, registry, None)?;
     let outcome = replay_capture(bytes, corpus.monitor, clock, None)?;
+    Ok(attribute_pcap(scenario, clock, outcome))
+}
 
+/// [`replay_pcap_with`] under a [`FaultPlan`], exercising all three
+/// fault layers end to end:
+///
+/// 1. the capture *bytes* are corrupted/truncated by the wire layer;
+/// 2. the surviving records pass through the wire record adapter
+///    (drop, duplicate, timestamp skew);
+/// 3. demuxed events pass through the flow layer (deletion, chaff
+///    bursts, extra delay);
+/// 4. the monitor itself runs armed with the runtime layer and the
+///    profile's degradation policy.
+///
+/// A capture tail destroyed by the wire layer ends the stream
+/// gracefully (see [`ReplayOutcome::stream_error`]); header damage is
+/// impossible by construction (the wire layer spares the file header).
+pub fn replay_pcap_chaos(
+    scenario: &LiveScenario,
+    bytes: &[u8],
+    clock: ReplayClock,
+    registry: Option<Arc<Registry>>,
+    plan: &FaultPlan,
+) -> Result<PcapReport, LivePcapError> {
+    let corpus = build_corpus(scenario, registry, Some(plan))?;
+    let mut mutated = bytes.to_vec();
+    plan.wire().mutate_bytes(&mut mutated);
+    let records = plan.wire().adapt(parse_capture(&mutated)?);
+    let mut injector = plan.flow_injector();
+    let outcome = replay_records_with(records, corpus.monitor, clock, None, |flow, packet, out| {
+        injector.apply(flow, packet, out)
+    });
+    Ok(attribute_pcap(scenario, clock, outcome))
+}
+
+/// Attributes a replay outcome's verdicts back to scenario identities
+/// through the injective 5-tuple map and packages the report.
+fn attribute_pcap(
+    scenario: &LiveScenario,
+    clock: ReplayClock,
+    outcome: ReplayOutcome,
+) -> PcapReport {
     // The demux numbers flows in first-seen order, which need not match
     // the scenario's ids; translate through the injective tuple map.
     let scenario_id = |demux_id: FlowId| -> Option<FlowId> {
@@ -453,25 +552,18 @@ pub fn replay_pcap_with(
             .map(FlowId)
             .find(|id| scenario.tuple_for(*id) == tuple)
     };
-    let mut true_positives = 0;
-    let mut false_positives = 0;
-    for v in &outcome.verdicts {
-        if let Verdict::Correlated { pair, .. } = v {
-            if scenario_id(pair.flow).is_some_and(|id| id.0 == pair.upstream.0) {
-                true_positives += 1;
-            } else {
-                false_positives += 1;
-            }
-        }
-    }
-    Ok(PcapReport {
+    let (true_positives, false_positives, degraded) = score_verdicts(&outcome.verdicts, |pair| {
+        scenario_id(pair.flow).is_some_and(|id| id.0 == pair.upstream.0)
+    });
+    PcapReport {
         scenario: scenario.clone(),
         clock,
         outcome,
         true_positives,
         false_positives,
-        missed: scenario.upstreams - true_positives,
-    })
+        missed: scenario.upstreams.saturating_sub(true_positives),
+        degraded,
+    }
 }
 
 #[cfg(test)]

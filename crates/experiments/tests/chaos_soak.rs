@@ -1,0 +1,162 @@
+//! Chaos soak: the full `pcap bytes → wire faults → demux → flow
+//! faults → armed engine` pipeline under the harsh profile, with
+//! pinned seeds.
+//!
+//! What "survival" means here, per seed:
+//!
+//! * the run terminates (no deadlock in ingest, drain, or shutdown);
+//! * the queue books balance: `enqueued == dequeued`, all depths 0,
+//!   and `dequeued == decodes_run + jobs_lost` — losses are counted,
+//!   never silent;
+//! * every registered pair ends with **exactly one** terminal verdict
+//!   (`Correlated`, `Cleared`, or `Degraded`) — chaos may degrade a
+//!   pair, it may never silently drop one;
+//! * injected worker kills are visible: `worker_restarts >= 1` both in
+//!   the stats snapshot and on the rendered `/metrics` text.
+//!
+//! The seeds are pinned so CI failures reproduce with
+//! `repro monitor --pcap ... --chaos SEED:harsh`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use stepstone_chaos::{FaultPlan, Profile};
+use stepstone_experiments::live::{export_pcap, replay_pcap_chaos, LiveScenario, PcapReport};
+use stepstone_experiments::{ExperimentConfig, Scale};
+use stepstone_ingest::ReplayClock;
+use stepstone_monitor::PairId;
+use stepstone_telemetry::Registry;
+
+/// The pinned harsh seeds. Chosen (by probing the seed space, once) so
+/// each plan schedules a worker kill on decode sequence 0 — the *first*
+/// decode of a run always happens, so the restart machinery is
+/// exercised every run regardless of how worker timing shapes the rest
+/// of the decode schedule.
+const SOAK_SEEDS: [u64; 3] = [44, 116, 225];
+
+/// The soak scenario: the scale-independent wire corpus, decoding on
+/// every accepted packet once a window fills, so the harsh profile's
+/// per-decode fault rates get plenty of draws.
+fn soak_scenario() -> LiveScenario {
+    let mut scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+    scenario.decode_batch = 1;
+    scenario
+}
+
+fn soak(seed: u64) -> (PcapReport, Arc<Registry>) {
+    let scenario = soak_scenario();
+    let bytes = export_pcap(&scenario).expect("wire corpus synthesises");
+    let plan = FaultPlan::new(seed, Profile::Harsh);
+    let registry = Arc::new(Registry::new());
+    let report = replay_pcap_chaos(
+        &scenario,
+        &bytes,
+        ReplayClock::Fast,
+        Some(Arc::clone(&registry)),
+        &plan,
+    )
+    .expect("wire-layer faults spare the capture header");
+    (report, registry)
+}
+
+#[test]
+fn harsh_soak_survives_pinned_seeds() {
+    for seed in SOAK_SEEDS {
+        let (report, registry) = soak(seed);
+        let stats = &report.outcome.monitor_stats;
+
+        // Queue conservation at shutdown: accepted == handed over,
+        // nothing left sitting in a queue.
+        assert_eq!(
+            stats.queue_enqueued, stats.queue_dequeued,
+            "seed {seed}: {stats}"
+        );
+        assert_eq!(
+            stats.queue_depths.iter().sum::<usize>(),
+            0,
+            "seed {seed}: queues must drain: {stats}"
+        );
+        // Loss accounting: every dequeued job either completed or died
+        // with its worker — and the deaths are counted, not silent.
+        assert_eq!(
+            stats.decodes_run + stats.jobs_lost,
+            stats.queue_dequeued,
+            "seed {seed}: {stats}"
+        );
+
+        // The harsh profile schedules kills and these seeds are pinned
+        // to hit at least one: the supervisor must have restarted.
+        assert!(
+            stats.worker_restarts >= 1,
+            "seed {seed}: expected at least one restart: {stats}"
+        );
+        assert!(
+            stats.jobs_lost >= 1,
+            "seed {seed}: a killed worker loses its in-flight job: {stats}"
+        );
+        // ...and the restart is visible on the scrape endpoint.
+        let rendered = registry.render_prometheus();
+        let restarts: f64 = rendered
+            .lines()
+            .find(|l| l.starts_with("monitor_worker_restarts_total"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("seed {seed}: restart counter must render:\n{rendered}"));
+        assert!(restarts >= 1.0, "seed {seed}: {restarts}");
+
+        // Zero silently-dropped pairs: every pair that appears in the
+        // verdict stream appears exactly once, and every suspicious
+        // flow the engine tracked produced its pairs' verdicts.
+        let mut terminal: HashMap<PairId, usize> = HashMap::new();
+        for verdict in &report.outcome.verdicts {
+            if let Some(pair) = verdict.pair() {
+                *terminal.entry(pair).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            terminal.values().all(|&n| n == 1),
+            "seed {seed}: duplicate terminal verdicts: {terminal:?}"
+        );
+        // One upstream in the wire scenario: one pair per tracked flow.
+        assert_eq!(
+            terminal.len(),
+            stats.flows_active + stats.flows_evicted as usize,
+            "seed {seed}: every tracked flow's pair must resolve: {stats}"
+        );
+        assert!(
+            terminal.len() >= 2,
+            "seed {seed}: harsh wire faults must not erase whole flows"
+        );
+    }
+}
+
+/// The same `--chaos` spec twice produces byte-identical fault
+/// schedules: the mutated capture bytes, the per-record and per-event
+/// decision streams, and the cross-layer digest all match.
+#[test]
+fn same_seed_means_byte_identical_fault_schedules() {
+    let scenario = soak_scenario();
+    let bytes = export_pcap(&scenario).expect("wire corpus synthesises");
+    for seed in SOAK_SEEDS {
+        let a = FaultPlan::new(seed, Profile::Harsh);
+        let b = FaultPlan::parse(&format!("{seed}:harsh")).unwrap();
+        assert_eq!(a.schedule_digest(65_536), b.schedule_digest(65_536));
+
+        let mut wire_a = bytes.clone();
+        let mut wire_b = bytes.clone();
+        a.wire().mutate_bytes(&mut wire_a);
+        b.wire().mutate_bytes(&mut wire_b);
+        assert_eq!(wire_a, wire_b, "seed {seed}: wire mutation must replay");
+
+        for i in 0..4096 {
+            assert_eq!(a.wire().record_decision(i), b.wire().record_decision(i));
+            assert_eq!(a.flow().decision(i), b.flow().decision(i));
+            assert_eq!(a.runtime().decision(i), b.runtime().decision(i));
+        }
+    }
+    // And different seeds genuinely differ.
+    assert_ne!(
+        FaultPlan::new(SOAK_SEEDS[0], Profile::Harsh).schedule_digest(65_536),
+        FaultPlan::new(SOAK_SEEDS[1], Profile::Harsh).schedule_digest(65_536),
+    );
+}

@@ -44,4 +44,4 @@ pub use demux::{DemuxFlow, DemuxStats, FlowDemux};
 pub use error::IngestError;
 pub use link::{build_frame, decode_frame, min_frame_len, FiveTuple, LinkType, Transport};
 pub use pcap::{write_flows, PcapWriter};
-pub use replay::{replay_capture, ReplayOutcome};
+pub use replay::{replay_capture, replay_records_with, ReplayOutcome};

@@ -9,10 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use stepstone_flow::TimeDelta;
-use stepstone_monitor::{Monitor, MonitorStats, Verdict};
+use stepstone_flow::{Packet, TimeDelta};
+use stepstone_monitor::{FlowId, Monitor, MonitorStats, Verdict};
 
-use crate::capture::parse_capture;
+use crate::capture::{parse_capture, CaptureRecord};
 use crate::clock::ReplayClock;
 use crate::demux::{DemuxFlow, DemuxStats, FlowDemux};
 use crate::error::IngestError;
@@ -41,6 +41,11 @@ pub struct ReplayOutcome {
     pub rejected: u64,
     /// Wall-clock duration of the replay loop.
     pub elapsed: Duration,
+    /// The record error that ended the stream early, if any. A damaged
+    /// capture tail stops *reading* but not the pipeline: everything
+    /// ingested before the error is still correlated, flushed, and
+    /// accounted in the stats above.
+    pub stream_error: Option<IngestError>,
 }
 
 /// Replays a capture through `monitor`, consuming it.
@@ -53,15 +58,53 @@ pub struct ReplayOutcome {
 ///
 /// # Errors
 ///
-/// Any [`IngestError`] from parsing `bytes`; packets ingested before
-/// the error are part of the monitor's state, but no outcome is
-/// returned.
+/// Any [`IngestError`] from parsing the capture *header* of `bytes` —
+/// a wrong file format is the caller's bug. A record error *mid-stream*
+/// (a damaged tail) is graceful instead: the replay stops reading,
+/// finishes the pipeline, and reports the error in
+/// [`ReplayOutcome::stream_error`].
 pub fn replay_capture(
     bytes: &[u8],
-    mut monitor: Monitor,
+    monitor: Monitor,
     clock: ReplayClock,
     idle_timeout: Option<TimeDelta>,
 ) -> Result<ReplayOutcome, IngestError> {
+    let records = parse_capture(bytes)?;
+    Ok(replay_records_with(
+        records,
+        monitor,
+        clock,
+        idle_timeout,
+        |flow, packet, out| out.push((flow, packet)),
+    ))
+}
+
+/// Replays a capture-record stream through `monitor` with a caller
+/// event map between the demux and the engine, consuming the monitor.
+///
+/// This is the fault-injection seam the `stepstone-chaos` crate plugs
+/// into from both sides: `records` can be any fused record iterator
+/// (e.g. a wire-fault adapter around a pcap reader), and `map`
+/// transforms each demuxed `(flow, packet)` event into the deliveries
+/// the engine should actually see — possibly none (deletion), possibly
+/// several (chaff bursts) — appended to the scratch vector in delivery
+/// order. The identity map is `|flow, packet, out| out.push((flow,
+/// packet))`.
+///
+/// Record errors mid-stream end the stream gracefully (see
+/// [`ReplayOutcome::stream_error`]); the monitor is always finished and
+/// its books always balance.
+pub fn replay_records_with<I, M>(
+    records: I,
+    mut monitor: Monitor,
+    clock: ReplayClock,
+    idle_timeout: Option<TimeDelta>,
+    mut map: M,
+) -> ReplayOutcome
+where
+    I: Iterator<Item = Result<CaptureRecord, IngestError>>,
+    M: FnMut(FlowId, Packet, &mut Vec<(FlowId, Packet)>),
+{
     let started = Instant::now();
     let mut demux = match idle_timeout {
         Some(t) => FlowDemux::with_idle_timeout(t),
@@ -79,32 +122,49 @@ pub fn replay_capture(
         "ingest_replay_rejected_total",
         "Replay events the monitor rejected as out-of-order",
     );
+    let stream_errors_total = registry.counter(
+        "ingest_replay_stream_errors_total",
+        "Replays ended early by a mid-stream record error",
+    );
     let mut verdicts = Vec::new();
     let mut events = 0u64;
     let mut rejected = 0u64;
     let mut pacer = None;
-    for record in parse_capture(bytes)? {
-        let record = record?;
+    let mut stream_error = None;
+    let mut deliveries: Vec<(FlowId, Packet)> = Vec::new();
+    for record in records {
+        let record = match record {
+            Ok(record) => record,
+            Err(e) => {
+                stream_errors_total.inc();
+                stream_error = Some(e);
+                break;
+            }
+        };
         let pacer = pacer.get_or_insert_with(|| clock.pacer(record.timestamp));
         pacer.wait_until(record.timestamp);
         if let Some((flow, packet)) = demux.push(&record) {
-            if !monitor.ingest(flow, packet) {
-                rejected += 1;
-                rejected_total.inc();
-            }
-            events += 1;
-            events_total.inc();
-            if events.is_multiple_of(HOUSEKEEPING_EVERY) {
-                demux.sweep_idle(record.timestamp);
-                monitor.evict_idle(record.timestamp);
-                verdicts.extend(monitor.drain_verdicts());
+            deliveries.clear();
+            map(flow, packet, &mut deliveries);
+            for &(flow, packet) in &deliveries {
+                if !monitor.ingest(flow, packet) {
+                    rejected += 1;
+                    rejected_total.inc();
+                }
+                events += 1;
+                events_total.inc();
+                if events.is_multiple_of(HOUSEKEEPING_EVERY) {
+                    demux.sweep_idle(record.timestamp);
+                    monitor.evict_idle(record.timestamp);
+                    verdicts.extend(monitor.drain_verdicts());
+                }
             }
         }
     }
     let (flows, demux_stats) = demux.finish();
     let report = monitor.finish();
     verdicts.extend(report.verdicts);
-    Ok(ReplayOutcome {
+    ReplayOutcome {
         verdicts,
         monitor_stats: report.stats,
         demux_stats,
@@ -112,7 +172,8 @@ pub fn replay_capture(
         events,
         rejected,
         elapsed: started.elapsed(),
-    })
+        stream_error,
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +226,84 @@ mod tests {
         let monitor = Monitor::new(MonitorConfig::default());
         let err = replay_capture(b"garbage", monitor, ReplayClock::Fast, None);
         assert!(matches!(err, Err(IngestError::BadMagic)));
+    }
+
+    /// A damaged capture *tail* must not abort the pipeline: everything
+    /// before the error is replayed, finished, and accounted; the error
+    /// itself is reported in the outcome.
+    #[test]
+    fn mid_stream_record_error_is_graceful() {
+        let tuple = FiveTuple::tcp_v4([10, 0, 0, 1], 4000, [10, 0, 0, 2], 22);
+        let mut b = FlowBuilder::new();
+        for i in 0..20 {
+            b.push(stepstone_flow::Packet::new(
+                Timestamp::from_micros(i * 10_000),
+                64,
+            ))
+            .unwrap();
+        }
+        let flow = b.finish();
+        let mut bytes = Vec::new();
+        write_flows(&mut bytes, &[(tuple, &flow)]).unwrap();
+        // A partial record header: the reader runs out mid-record.
+        bytes.extend_from_slice(&[0x01, 0x02, 0x03]);
+
+        let monitor = Monitor::new(MonitorConfig::default());
+        let outcome = replay_capture(&bytes, monitor, ReplayClock::Fast, None).unwrap();
+        assert!(
+            matches!(outcome.stream_error, Some(IngestError::Truncated { .. })),
+            "got {:?}",
+            outcome.stream_error
+        );
+        assert_eq!(outcome.events, 20, "packets before the damage all land");
+        assert_eq!(outcome.monitor_stats.packets_ingested, 20);
+        assert_eq!(outcome.flows.len(), 1);
+    }
+
+    /// The event-map seam: deletions shrink and injections grow the
+    /// delivery stream, and the replay counts *deliveries*, not demux
+    /// events.
+    #[test]
+    fn event_map_rewrites_the_delivery_stream() {
+        let tuple = FiveTuple::tcp_v4([10, 0, 0, 1], 4000, [10, 0, 0, 2], 22);
+        let mut b = FlowBuilder::new();
+        for i in 0..10 {
+            b.push(stepstone_flow::Packet::new(
+                Timestamp::from_micros(i * 10_000),
+                64,
+            ))
+            .unwrap();
+        }
+        let flow = b.finish();
+        let mut bytes = Vec::new();
+        write_flows(&mut bytes, &[(tuple, &flow)]).unwrap();
+
+        let monitor = Monitor::new(MonitorConfig::default());
+        let mut seen = 0u64;
+        let outcome = replay_records_with(
+            parse_capture(&bytes).unwrap(),
+            monitor,
+            ReplayClock::Fast,
+            None,
+            |flow, packet, out| {
+                seen += 1;
+                if seen.is_multiple_of(2) {
+                    return; // delete every second event
+                }
+                out.push((flow, packet));
+                // ...and chaff right behind each survivor.
+                out.push((
+                    flow,
+                    stepstone_flow::Packet::chaff(
+                        packet.timestamp() + TimeDelta::from_micros(1),
+                        48,
+                    ),
+                ));
+            },
+        );
+        assert_eq!(seen, 10, "the map sees every demuxed event");
+        assert_eq!(outcome.events, 10, "5 deleted, 5 survivors doubled");
+        assert_eq!(outcome.monitor_stats.packets_ingested, 10);
+        assert!(outcome.stream_error.is_none());
     }
 }

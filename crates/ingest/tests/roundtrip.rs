@@ -164,6 +164,7 @@ fn streaming_roundtripped_pcap_matches_batch_decode() {
                     assert_eq!(hamming, expect.hamming, "seed {seed}");
                 }
                 Verdict::Evicted { .. } => panic!("seed {seed}: no eviction configured"),
+                Verdict::Degraded { .. } => panic!("seed {seed}: no chaos configured"),
             }
         }
         // And the true downstream is the correlated one.

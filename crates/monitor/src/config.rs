@@ -1,9 +1,12 @@
 //! Engine sizing and policy knobs.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use stepstone_flow::TimeDelta;
 use stepstone_telemetry::Registry;
+
+use crate::fault::FaultHook;
 
 /// Sizing and policy for a [`Monitor`](crate::Monitor).
 ///
@@ -46,6 +49,24 @@ pub struct MonitorConfig {
     ///
     /// [reg]: crate::Monitor::registry
     pub registry: Option<Arc<Registry>>,
+    /// Test-only decode fault oracle, consulted once per decode job.
+    /// `None` (the default and production setting) makes every decode
+    /// run clean; chaos harnesses install a hook to schedule panics,
+    /// worker kills, and slow decodes deterministically.
+    pub fault_hook: Option<FaultHook>,
+    /// Shed the lowest-priority pair after this many *consecutive*
+    /// dropped decode attempts (full shard queues). `None` (default)
+    /// never sheds — backpressure only drops individual attempts.
+    pub shed_after_drops: Option<u64>,
+    /// Watchdog threshold: a shard whose queue is non-empty but whose
+    /// worker heartbeat is older than this is flagged stalled. `None`
+    /// (default) disables the watchdog thread entirely.
+    pub stall_timeout: Option<Duration>,
+    /// First supervisor restart delay after a worker death; doubles per
+    /// consecutive death on the same shard.
+    pub restart_backoff: Duration,
+    /// Cap on the supervisor's exponential restart backoff.
+    pub restart_backoff_cap: Duration,
 }
 
 impl Default for MonitorConfig {
@@ -58,6 +79,11 @@ impl Default for MonitorConfig {
             idle_timeout: None,
             min_window: 0,
             registry: None,
+            fault_hook: None,
+            shed_after_drops: None,
+            stall_timeout: None,
+            restart_backoff: Duration::from_millis(5),
+            restart_backoff_cap: Duration::from_millis(500),
         }
     }
 }
@@ -114,10 +140,50 @@ impl MonitorConfig {
         self
     }
 
+    /// Installs a decode fault oracle (chaos testing only).
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Enables load shedding after `drops` consecutive dropped decode
+    /// attempts.
+    #[must_use]
+    pub fn with_shed_after_drops(mut self, drops: u64) -> Self {
+        self.shed_after_drops = Some(drops);
+        self
+    }
+
+    /// Enables the stall watchdog with the given heartbeat threshold.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the supervisor's restart backoff (initial delay and cap).
+    #[must_use]
+    pub fn with_restart_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.restart_backoff = base;
+        self.restart_backoff_cap = cap;
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.window_capacity > 0, "window_capacity must be positive");
         assert!(self.decode_batch > 0, "decode_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
         assert!(self.shards > 0, "shards must be positive");
+        if let Some(drops) = self.shed_after_drops {
+            assert!(drops > 0, "shed_after_drops must be positive");
+        }
+        if let Some(timeout) = self.stall_timeout {
+            assert!(!timeout.is_zero(), "stall_timeout must be positive");
+        }
+        assert!(
+            self.restart_backoff <= self.restart_backoff_cap,
+            "restart_backoff must not exceed its cap"
+        );
     }
 }

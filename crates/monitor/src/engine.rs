@@ -1,41 +1,25 @@
 //! The online correlation engine: registry, shard pool, verdicts.
 
 use std::collections::{btree_map, BTreeMap, HashMap, VecDeque};
-use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Instant;
 
-use stepstone_core::{BoundCorrelator, Correlation};
-use stepstone_flow::{Flow, Packet, SlidingWindow, Timestamp};
-use stepstone_telemetry::{span, time, Counter, Registry};
+use stepstone_core::BoundCorrelator;
+use stepstone_flow::{Packet, SlidingWindow, Timestamp};
+use stepstone_telemetry::{span, Registry};
 
 use crate::config::MonitorConfig;
 use crate::ids::{FlowId, PairId, UpstreamId};
 use crate::metrics::EngineMetrics;
-use crate::queue::{shard_queue, ShardGauges, ShardReceiver, ShardSender};
+use crate::queue::{shard_queue, ShardGauges, ShardSender};
 use crate::stats::MonitorStats;
-use crate::verdict::Verdict;
+use crate::supervisor::{Completion, DecodeJob, Supervisor, WorkerEvent};
+use crate::verdict::{DegradeReason, Verdict};
 
 /// Ingests evict-sweep cadence: with an idle timeout configured, every
 /// this many accepted packets the engine sweeps for idle flows.
 const EVICT_SWEEP_EVERY: u64 = 1024;
-
-/// A decode request pinned to one shard.
-struct DecodeJob {
-    pair: PairId,
-    correlator: Arc<BoundCorrelator>,
-    window: Flow,
-    /// The flow's cumulative push count at snapshot time; carried back
-    /// in the completion so staleness is observable.
-    pushed: u64,
-}
-
-/// A finished decode, reported back to the control side.
-struct Completion {
-    pair: PairId,
-    outcome: Correlation,
-}
 
 /// Per-pair decode bookkeeping, owned by the control side.
 #[derive(Debug, Clone, Default)]
@@ -48,8 +32,10 @@ struct PairState {
     decodes: u32,
     /// Hamming distance of the most recent completed decode.
     last_hamming: Option<u32>,
-    /// A `Correlated` verdict was emitted; the pair is done.
-    latched: bool,
+    /// A terminal verdict was emitted for the pair — latched
+    /// `Correlated`, shed, or stall-degraded. The pair is done: no more
+    /// scheduling, and the shutdown sweep skips it.
+    resolved: bool,
 }
 
 /// One tracked suspicious flow.
@@ -102,49 +88,82 @@ impl Control {
         }
     }
 
-    /// Drains worker completions without blocking, updating pair state
-    /// and emitting `Correlated` verdicts.
-    fn pump(&mut self, done_rx: &Receiver<Completion>) {
-        while let Ok(done) = done_rx.try_recv() {
-            let Completion { pair, outcome } = done;
-            let state = match self.suspects.get_mut(&pair.flow) {
-                Some(s) => s.pairs.get_mut(&pair.upstream),
-                None => None,
-            };
-            if let Some(state) = state {
-                state.in_flight = false;
-                state.decodes += 1;
-                state.last_hamming = outcome.hamming;
-                if outcome.correlated && !state.latched {
-                    state.latched = true;
-                    self.metrics.pairs_latched.inc();
-                    // Latched pairs stop being candidates.
-                    self.metrics.pairs_active.dec();
-                    self.emit(Verdict::Correlated {
-                        pair,
-                        hamming: outcome.hamming.unwrap_or(0),
-                        cost: outcome.cost + outcome.matching_cost,
-                    });
+    /// Drains worker events without blocking: completions update pair
+    /// state and may emit `Correlated`; death notices account the lost
+    /// job and hand the shard to the supervisor, which also gets its
+    /// respawn poll here (the pump runs on every ingest).
+    fn pump(&mut self, done_rx: &Receiver<WorkerEvent>, supervisor: &mut Supervisor) {
+        while let Ok(event) = done_rx.try_recv() {
+            match event {
+                WorkerEvent::Done(done) => self.absorb(done),
+                WorkerEvent::Died { shard, inflight } => {
+                    supervisor.note_death(shard);
+                    let Some(pair) = inflight else { continue };
+                    // The job died dequeued-but-incomplete; account it
+                    // so `dequeued == decodes_run + jobs_lost` holds.
+                    self.metrics.jobs_lost.inc();
+                    if let Some(state) = self
+                        .suspects
+                        .get_mut(&pair.flow)
+                        .and_then(|s| s.pairs.get_mut(&pair.upstream))
+                    {
+                        // The pair gets another chance: new packets (or
+                        // the shutdown flush) schedule a fresh decode.
+                        state.in_flight = false;
+                    } else if self.orphans.remove(&pair).is_some() {
+                        // Evicted mid-decode and the decode died with
+                        // its worker: degraded is the terminal word.
+                        self.emit(Verdict::Degraded {
+                            pair,
+                            reason: DegradeReason::WorkerLost,
+                        });
+                    }
                 }
-            } else if let Some(mut state) = self.orphans.remove(&pair) {
-                // The flow was evicted mid-decode: this completion is
-                // the pair's terminal word. (The pair left the active
-                // gauge when its flow was evicted.)
-                state.decodes += 1;
-                if outcome.correlated {
-                    self.metrics.pairs_latched.inc();
-                    self.emit(Verdict::Correlated {
-                        pair,
-                        hamming: outcome.hamming.unwrap_or(0),
-                        cost: outcome.cost + outcome.matching_cost,
-                    });
-                } else {
-                    self.emit(Verdict::Cleared {
-                        pair,
-                        hamming: outcome.hamming,
-                        decodes: state.decodes,
-                    });
-                }
+            }
+        }
+        supervisor.respawn_due(false);
+    }
+
+    /// Applies one completed decode to its pair.
+    fn absorb(&mut self, done: Completion) {
+        let Completion { pair, outcome } = done;
+        let state = match self.suspects.get_mut(&pair.flow) {
+            Some(s) => s.pairs.get_mut(&pair.upstream),
+            None => None,
+        };
+        if let Some(state) = state {
+            state.in_flight = false;
+            state.decodes += 1;
+            state.last_hamming = outcome.hamming;
+            if outcome.correlated && !state.resolved {
+                state.resolved = true;
+                self.metrics.pairs_latched.inc();
+                // Latched pairs stop being candidates.
+                self.metrics.pairs_active.dec();
+                self.emit(Verdict::Correlated {
+                    pair,
+                    hamming: outcome.hamming.unwrap_or(0),
+                    cost: outcome.cost + outcome.matching_cost,
+                });
+            }
+        } else if let Some(mut state) = self.orphans.remove(&pair) {
+            // The flow was evicted mid-decode: this completion is
+            // the pair's terminal word. (The pair left the active
+            // gauge when its flow was evicted.)
+            state.decodes += 1;
+            if outcome.correlated {
+                self.metrics.pairs_latched.inc();
+                self.emit(Verdict::Correlated {
+                    pair,
+                    hamming: outcome.hamming.unwrap_or(0),
+                    cost: outcome.cost + outcome.matching_cost,
+                });
+            } else {
+                self.emit(Verdict::Cleared {
+                    pair,
+                    hamming: outcome.hamming,
+                    decodes: state.decodes,
+                });
             }
         }
     }
@@ -177,10 +196,25 @@ impl Control {
 /// when a shard queue is full the decode attempt is dropped and
 /// counted, and the pair retries as more packets arrive.
 ///
+/// # Fault tolerance
+///
 /// A worker panic during a decode is contained: the panic is caught,
 /// counted in [`MonitorStats::worker_panics`], and reported as a
 /// failed (non-correlating) decode, so the owning pair still resolves
 /// to a terminal verdict instead of wedging [`finish`](Monitor::finish).
+///
+/// A panic that kills the worker thread outright is survived: the
+/// supervisor respawns the shard's worker with capped exponential
+/// backoff ([`MonitorStats::worker_restarts`]), the job that died with
+/// the worker is accounted ([`MonitorStats::jobs_lost`]) and its pair
+/// released to retry, and queued jobs survive because the queue's
+/// receiving side outlives the worker. Under sustained backpressure the
+/// engine can shed its lowest-priority pair
+/// ([`MonitorConfig::shed_after_drops`]), and an optional watchdog
+/// ([`MonitorConfig::stall_timeout`]) flags wedged shards so shutdown
+/// degrades their pairs instead of hanging. Every such giving-up is an
+/// explicit [`Verdict::Degraded`] — the engine never silently drops a
+/// registered pair.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct Monitor {
@@ -192,11 +226,18 @@ pub struct Monitor {
     /// [`finish`](Monitor::finish) still sees per-shard depths/drops
     /// after the senders are dropped to release the workers.
     gauges: Vec<ShardGauges>,
-    done_rx: Receiver<Completion>,
-    workers: Vec<JoinHandle<()>>,
+    done_rx: Receiver<WorkerEvent>,
+    /// Owns worker threads and restart policy. Declared after `shards`
+    /// and `done_rx` so that on a plain drop the senders and the done
+    /// receiver go first, letting workers exit before the supervisor's
+    /// drop joins them.
+    supervisor: Supervisor,
     /// Accepted packets since start, kept as a plain integer purely to
     /// pace the idle-eviction sweep without summing counter stripes.
     sweep_tick: u64,
+    /// Consecutive decode attempts dropped on full queues; trips the
+    /// shedding policy when it reaches `config.shed_after_drops`.
+    drop_streak: u64,
 }
 
 impl Monitor {
@@ -216,29 +257,28 @@ impl Monitor {
         // The done channel is intentionally unbounded: its occupancy is
         // bounded by construction — at most (queue_capacity + 1) jobs
         // per shard are ever in flight, each contributing one
-        // completion, and the control side drains on every ingest.
+        // completion (or one death notice), and the control side drains
+        // on every ingest.
         // lint: allow(bounded_queue) occupancy bounded by shards * (queue_capacity + 1) in-flight jobs
-        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<WorkerEvent>();
         let mut shards = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        let mut receivers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
             let (tx, rx) = shard_queue::<DecodeJob>(config.queue_capacity);
-            let worker_done = done_tx.clone();
-            let worker_metrics = Arc::clone(&metrics);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("monitor-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, worker_done, &worker_metrics))
-                    // lint: allow(no_panic) thread spawn fails only on resource exhaustion; documented under Panics
-                    .expect("spawn monitor shard worker"),
-            );
             shards.push(tx);
+            receivers.push(rx);
         }
-        drop(done_tx);
         let gauges: Vec<ShardGauges> = shards.iter().map(ShardSender::gauges).collect();
         for (shard, shard_gauges) in gauges.iter().enumerate() {
             metrics.register_shard(shard, shard_gauges);
         }
+        let supervisor = Supervisor::new(
+            &config,
+            Arc::clone(&metrics),
+            receivers,
+            gauges.clone(),
+            done_tx,
+        );
         Monitor {
             config,
             upstreams: BTreeMap::new(),
@@ -246,8 +286,9 @@ impl Monitor {
             shards,
             gauges,
             done_rx,
-            workers,
+            supervisor,
             sweep_tick: 0,
+            drop_streak: 0,
         }
     }
 
@@ -279,7 +320,7 @@ impl Monitor {
     /// Never blocks: decode scheduling uses `try_push` and drops on a
     /// full shard queue.
     pub fn ingest(&mut self, flow: FlowId, packet: Packet) -> bool {
-        self.control.pump(&self.done_rx);
+        self.control.pump(&self.done_rx, &mut self.supervisor);
         self.control.clock = Some(match self.control.clock {
             Some(t) if t >= packet.timestamp() => t,
             _ => packet.timestamp(),
@@ -316,7 +357,7 @@ impl Monitor {
     /// Moves verdicts emitted since the last drain to the caller,
     /// oldest first. Non-blocking.
     pub fn drain_verdicts(&mut self) -> Vec<Verdict> {
-        self.control.pump(&self.done_rx);
+        self.control.pump(&self.done_rx, &mut self.supervisor);
         self.control.verdicts.drain(..).collect()
     }
 
@@ -349,16 +390,20 @@ impl Monitor {
             self.control.metrics.flows_active.dec();
             for (upstream, state) in suspect.pairs {
                 let pair = PairId { upstream, flow: id };
-                if state.latched {
+                if state.resolved {
+                    // Already has its terminal verdict (latched, shed,
+                    // or degraded) and already left the active gauge.
                     continue;
                 }
-                // Non-latched pairs leave the active gauge with their
-                // flow (latched ones left it when they latched).
+                // Non-resolved pairs leave the active gauge with their
+                // flow.
                 self.control.metrics.pairs_active.dec();
                 if state.in_flight {
                     // Let the in-flight decode resolve the pair.
                     self.control.orphans.insert(pair, state);
-                } else if state.decodes > 0 {
+                } else {
+                    // Terminal even when never decoded: an eviction
+                    // must not silently drop a registered pair.
                     self.control.emit(Verdict::Cleared {
                         pair,
                         hamming: state.last_hamming,
@@ -387,7 +432,7 @@ impl Monitor {
             self.control
                 .suspects
                 .values()
-                .map(|s| s.pairs.values().filter(|p| !p.latched).count())
+                .map(|s| s.pairs.values().filter(|p| !p.resolved).count())
                 .sum::<usize>()
         );
         MonitorStats {
@@ -404,6 +449,9 @@ impl Monitor {
             queue_enqueued: self.gauges.iter().map(ShardGauges::enqueued).sum(),
             queue_dequeued: self.gauges.iter().map(ShardGauges::dequeued).sum(),
             worker_panics: m.worker_panics.get(),
+            worker_restarts: m.worker_restarts.get(),
+            jobs_lost: m.jobs_lost.get(),
+            pairs_shed: m.pairs_shed.get(),
             verdicts_emitted: m.verdicts_emitted(),
         }
     }
@@ -414,22 +462,38 @@ impl Monitor {
     /// verdicts plus a final stats snapshot.
     ///
     /// Unlike [`ingest`](Monitor::ingest), the flush uses blocking
-    /// pushes — at shutdown completeness beats latency.
+    /// pushes — at shutdown completeness beats latency. Downed shards
+    /// are respawned immediately (no backoff) so their queued work
+    /// drains; shards the watchdog flags as stalled get `Degraded`
+    /// verdicts for their pending pairs instead of more work.
     pub fn finish(mut self) -> MonitorReport {
+        // Bring every downed shard back first: the drain below needs
+        // someone to work the queues.
+        self.control.pump(&self.done_rx, &mut self.supervisor);
+        self.supervisor.respawn_due(true);
         // Let in-flight decodes land first: a pair whose last decode
         // covered only a prefix must still get its full-window flush
         // decode below, and an in-flight completion may latch the pair
         // and make that flush unnecessary. Workers cannot wedge this
         // loop: every accepted job produces a completion even when the
-        // decode panics (see worker_loop).
+        // decode panics (see supervisor::worker_loop), a dead worker is
+        // respawned without backoff, and a stalled shard's pairs are
+        // abandoned as `Degraded` once the grace period lapses.
+        let drain_started = Instant::now();
         loop {
-            self.control.pump(&self.done_rx);
+            self.control.pump(&self.done_rx, &mut self.supervisor);
+            self.supervisor.respawn_due(true);
             if !self.control.any_in_flight() {
                 break;
             }
+            if let Some(timeout) = self.config.stall_timeout {
+                if self.supervisor.any_stalled() && drain_started.elapsed() > timeout * 2 {
+                    self.abandon_stalled();
+                }
+            }
             std::thread::yield_now();
         }
-        // Final decode for every non-latched pair that has data beyond
+        // Final decode for every unresolved pair that has data beyond
         // its last decode (or was never decoded at all).
         let flows: Vec<FlowId> = self.control.suspects.keys().copied().collect();
         for flow in flows {
@@ -441,7 +505,7 @@ impl Monitor {
                 let Some(correlator) = self.upstreams.get(&upstream) else {
                     continue;
                 };
-                if state.latched
+                if state.resolved
                     || state.in_flight
                     || suspect.window.len() < self.min_window_for(correlator)
                     || state.decoded_through >= suspect.window.pushed()
@@ -452,6 +516,13 @@ impl Monitor {
             }
             for (upstream, correlator) in jobs {
                 let pair = PairId { upstream, flow };
+                let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
+                if self.supervisor.is_stalled(shard) {
+                    // Scheduling onto a wedged shard would hang the
+                    // flush; degraded is the honest terminal word.
+                    self.degrade_pair(pair, DegradeReason::Stalled);
+                    continue;
+                }
                 let Some(suspect) = self.control.suspects.get_mut(&flow) else {
                     continue;
                 };
@@ -462,15 +533,20 @@ impl Monitor {
                     pushed: suspect.window.pushed(),
                 };
                 let pushed = job.pushed;
-                let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
                 // Blocking push: the flush must not drop work. The
                 // pump callback keeps draining completions so a full
-                // queue and an undrained done stream cannot deadlock;
-                // the disjoint `control`/`shards` borrows make this
+                // queue and an undrained done stream cannot deadlock —
+                // and keeps respawning dead workers, so the queue is
+                // always eventually drained; the disjoint
+                // `control`/`shards`/`supervisor` borrows make this
                 // legal.
                 let sender = &self.shards[shard];
                 let control = &mut self.control;
-                let accepted = sender.push_blocking(job, || control.pump(&self.done_rx));
+                let supervisor = &mut self.supervisor;
+                let done_rx = &self.done_rx;
+                let accepted = sender
+                    .push_blocking(job, || control.pump(done_rx, &mut *supervisor))
+                    .is_ok();
                 if accepted {
                     self.control.metrics.decodes_scheduled.inc();
                     if let Some(state) = self
@@ -483,18 +559,18 @@ impl Monitor {
                         state.decoded_through = pushed;
                     }
                 }
-                // `accepted == false` means the shard's worker is gone
-                // (its receiver dropped); the pair resolves through the
-                // terminal sweep below instead.
+                // A push error means the shard's receiver is gone —
+                // impossible while the supervisor holds it, but if it
+                // ever happens the pair still resolves through the
+                // terminal sweep below.
             }
         }
-        // Closing the job channels lets workers drain and exit.
+        // Closing the job channels lets workers drain and exit; the
+        // supervisor joins them, respawning as needed until every
+        // queue is verifiably empty.
         self.shards.clear();
-        for worker in self.workers.drain(..) {
-            // lint: allow(no_panic) worker_loop catches decode panics; a join error here is a harness bug
-            worker.join().expect("monitor shard worker exited cleanly");
-        }
-        self.control.pump(&self.done_rx);
+        self.supervisor.drain_to_exit();
+        self.control.pump(&self.done_rx, &mut self.supervisor);
         debug_assert!(
             self.control.orphans.is_empty(),
             "all in-flight decodes resolved"
@@ -504,7 +580,7 @@ impl Monitor {
         let mut remaining: Vec<(FlowId, UpstreamId, PairState)> = Vec::new();
         for (&flow, suspect) in &self.control.suspects {
             for (&upstream, state) in &suspect.pairs {
-                if !state.latched {
+                if !state.resolved {
                     remaining.push((flow, upstream, state.clone()));
                 }
             }
@@ -524,6 +600,79 @@ impl Monitor {
         }
     }
 
+    /// Resolves every pending pair pinned to a stalled shard with a
+    /// `Degraded` verdict, releasing the shutdown drain from waiting on
+    /// a wedged worker. Idempotent: abandoned pairs are `resolved`, and
+    /// a completion that arrives late for one is counted but not
+    /// re-emitted.
+    fn abandon_stalled(&mut self) {
+        let shard_count = self.shards.len() as u64;
+        let mut victims: Vec<PairId> = Vec::new();
+        for (&flow, suspect) in &self.control.suspects {
+            for (&upstream, state) in &suspect.pairs {
+                let pair = PairId { upstream, flow };
+                let shard = (pair.shard_hash() % shard_count) as usize;
+                if state.in_flight && !state.resolved && self.supervisor.is_stalled(shard) {
+                    victims.push(pair);
+                }
+            }
+        }
+        for pair in victims {
+            if let Some(state) = self
+                .control
+                .suspects
+                .get_mut(&pair.flow)
+                .and_then(|s| s.pairs.get_mut(&pair.upstream))
+            {
+                state.in_flight = false;
+                state.resolved = true;
+            }
+            self.control.metrics.pairs_active.dec();
+            self.control.emit(Verdict::Degraded {
+                pair,
+                reason: DegradeReason::Stalled,
+            });
+        }
+        let orphaned: Vec<PairId> = self
+            .control
+            .orphans
+            .keys()
+            .copied()
+            .filter(|pair| {
+                let shard = (pair.shard_hash() % shard_count) as usize;
+                self.supervisor.is_stalled(shard)
+            })
+            .collect();
+        for pair in orphaned {
+            self.control.orphans.remove(&pair);
+            self.control.emit(Verdict::Degraded {
+                pair,
+                reason: DegradeReason::Stalled,
+            });
+        }
+    }
+
+    /// Emits a terminal `Degraded` verdict for a live, unresolved pair.
+    fn degrade_pair(&mut self, pair: PairId, reason: DegradeReason) {
+        let Some(state) = self
+            .control
+            .suspects
+            .get_mut(&pair.flow)
+            .and_then(|s| s.pairs.get_mut(&pair.upstream))
+        else {
+            return;
+        };
+        if state.resolved {
+            return;
+        }
+        state.resolved = true;
+        self.control.metrics.pairs_active.dec();
+        if matches!(reason, DegradeReason::Shed) {
+            self.control.metrics.pairs_shed.inc();
+        }
+        self.control.emit(Verdict::Degraded { pair, reason });
+    }
+
     /// The window size a pair needs before decoding is worthwhile: a
     /// complete matching needs at least as many suspicious packets as
     /// upstream packets, clamped to what the window can ever hold.
@@ -538,7 +687,8 @@ impl Monitor {
 
     /// Schedules decodes for `flow`'s pairs that have accrued enough
     /// new packets. Uses `try_push`; a full shard queue counts a drop
-    /// and the pair retries on a later packet.
+    /// and the pair retries on a later packet. Sustained drop streaks
+    /// trip the load-shedding policy, if enabled.
     fn schedule_pairs(&mut self, flow: FlowId) {
         let upstream_ids: Vec<UpstreamId> = self.upstreams.keys().copied().collect();
         for upstream in upstream_ids {
@@ -552,13 +702,13 @@ impl Monitor {
             let state = match suspect.pairs.entry(upstream) {
                 btree_map::Entry::Vacant(entry) => {
                     // A fresh pair enters the active gauge (PairState
-                    // defaults to non-latched).
+                    // defaults to unresolved).
                     self.control.metrics.pairs_active.inc();
                     entry.insert(PairState::default())
                 }
                 btree_map::Entry::Occupied(entry) => entry.into_mut(),
             };
-            if state.latched
+            if state.resolved
                 || state.in_flight
                 || suspect.window.len() < min_window
                 || suspect.window.pushed() - state.decoded_through < self.config.decode_batch as u64
@@ -574,112 +724,63 @@ impl Monitor {
                 pushed,
             };
             let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
-            if self.shards[shard].try_push(job) {
-                self.control.metrics.decodes_scheduled.inc();
-                if let Some(state) = self
-                    .control
-                    .suspects
-                    .get_mut(&flow)
-                    .and_then(|s| s.pairs.get_mut(&upstream))
-                {
-                    state.in_flight = true;
-                    state.decoded_through = pushed;
+            match self.shards[shard].try_push(job) {
+                Ok(()) => {
+                    self.drop_streak = 0;
+                    self.control.metrics.decodes_scheduled.inc();
+                    if let Some(state) = self
+                        .control
+                        .suspects
+                        .get_mut(&flow)
+                        .and_then(|s| s.pairs.get_mut(&upstream))
+                    {
+                        state.in_flight = true;
+                        state.decoded_through = pushed;
+                    }
+                }
+                Err(_) => {
+                    // The drop is already counted by the shard queue;
+                    // the pair retries when more packets arrive. A long
+                    // enough streak means the engine is oversubscribed,
+                    // and shedding one pair beats starving them all.
+                    self.drop_streak += 1;
+                    if let Some(limit) = self.config.shed_after_drops {
+                        if self.drop_streak >= limit {
+                            self.drop_streak = 0;
+                            self.shed_lowest_priority();
+                        }
+                    }
                 }
             }
-            // A rejected push is already counted by the shard queue;
-            // the pair simply retries when more packets arrive.
         }
     }
-}
 
-/// The outcome reported for a decode whose worker panicked: not
-/// correlated, no watermark, flagged incomplete.
-fn panicked_outcome() -> Correlation {
-    Correlation {
-        correlated: false,
-        hamming: None,
-        best: None,
-        cost: 0,
-        matching_cost: 0,
-        completed: false,
-    }
-}
-
-/// Runs one decode with panic containment: a panicking decode is
-/// counted and mapped to [`panicked_outcome`] so the job still yields a
-/// completion — otherwise the control side would wait on the pair
-/// forever at shutdown. `AssertUnwindSafe` is sound because the closure
-/// only reads state the caller consumes afterwards and writes nothing
-/// shared.
-fn run_contained(decode: impl FnOnce() -> Correlation, worker_panics: &Counter) -> Correlation {
-    std::panic::catch_unwind(AssertUnwindSafe(decode)).unwrap_or_else(|_| {
-        worker_panics.inc();
-        panicked_outcome()
-    })
-}
-
-fn worker_loop(rx: ShardReceiver<DecodeJob>, done: Sender<Completion>, metrics: &EngineMetrics) {
-    while let Some(job) = rx.recv() {
-        span!(metrics.registry.spans(), "decode");
-        let outcome = time!(metrics.decode_latency, {
-            run_contained(
-                || job.correlator.correlate(&job.window),
-                &metrics.worker_panics,
-            )
-        });
-        metrics.decodes_run.inc();
-        if done
-            .send(Completion {
-                pair: job.pair,
-                outcome,
-            })
-            .is_err()
-        {
-            // Control side is gone; no one to report to.
-            break;
+    /// Sheds the lowest-priority pair — unresolved, not in flight, and
+    /// with the fewest packets in its flow window (ties broken by pair
+    /// id for determinism) — emitting a terminal `Degraded` verdict.
+    /// No-op if every pair is resolved or mid-decode.
+    fn shed_lowest_priority(&mut self) {
+        let mut victim: Option<(usize, FlowId, UpstreamId)> = None;
+        for (&flow, suspect) in &self.control.suspects {
+            let len = suspect.window.len();
+            for (&upstream, state) in &suspect.pairs {
+                if state.resolved || state.in_flight {
+                    continue;
+                }
+                let better = match victim {
+                    None => true,
+                    Some((best_len, best_flow, best_upstream)) => {
+                        len < best_len
+                            || (len == best_len && (flow, upstream) < (best_flow, best_upstream))
+                    }
+                };
+                if better {
+                    victim = Some((len, flow, upstream));
+                }
+            }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn contained_decode_passes_results_through() {
-        let panics = Counter::new();
-        let ok = Correlation {
-            correlated: true,
-            hamming: Some(1),
-            best: None,
-            cost: 3,
-            matching_cost: 4,
-            completed: true,
-        };
-        let got = run_contained(|| ok.clone(), &panics);
-        assert!(got.correlated);
-        assert_eq!(got.hamming, Some(1));
-        assert_eq!(panics.get(), 0);
-    }
-
-    #[test]
-    fn contained_decode_maps_panic_to_failed_completion() {
-        // Silence the default hook for the intentional panic; restore
-        // it so other tests keep readable failure output.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let panics = Counter::new();
-        let got = run_contained(|| panic!("decode bug"), &panics);
-        std::panic::set_hook(hook);
-        assert!(!got.correlated);
-        assert!(!got.completed);
-        assert_eq!(got.hamming, None);
-        assert_eq!(panics.get(), 1, "panic must be counted exactly once");
-        // A second contained panic keeps counting.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let _ = run_contained(|| panic!("again"), &panics);
-        std::panic::set_hook(hook);
-        assert_eq!(panics.get(), 2);
+        if let Some((_, flow, upstream)) = victim {
+            self.degrade_pair(PairId { upstream, flow }, DegradeReason::Shed);
+        }
     }
 }

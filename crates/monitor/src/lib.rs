@@ -21,7 +21,12 @@
 //!   never blocks — an attempt against a full queue is dropped and
 //!   counted, and the pair retries as more packets arrive;
 //! * a **live verdict stream** ([`Verdict`]) plus a counters snapshot
-//!   ([`MonitorStats`]) for dashboards and tests.
+//!   ([`MonitorStats`]) for dashboards and tests;
+//! * **supervised degradation**: dead shard workers are respawned with
+//!   capped exponential backoff, lost jobs are accounted, stalled
+//!   shards are flagged by a watchdog, and sustained backpressure can
+//!   shed the lowest-priority pair — every giving-up surfaces as an
+//!   explicit [`Verdict::Degraded`], never a silently dropped pair.
 //!
 //! # Example
 //!
@@ -61,15 +66,19 @@
 
 mod config;
 mod engine;
+mod fault;
 mod ids;
 mod metrics;
 #[doc(hidden)]
 pub mod queue;
 mod stats;
+mod supervisor;
 mod verdict;
 
 pub use config::MonitorConfig;
 pub use engine::{Monitor, MonitorReport};
+pub use fault::{DecodeFault, FaultHook};
 pub use ids::{FlowId, PairId, UpstreamId};
+pub use queue::PushError;
 pub use stats::MonitorStats;
-pub use verdict::Verdict;
+pub use verdict::{DegradeReason, Verdict};

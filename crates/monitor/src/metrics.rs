@@ -37,10 +37,19 @@ pub(crate) struct EngineMetrics {
     pub decodes_run: Arc<Counter>,
     /// Decode panics caught in worker threads.
     pub worker_panics: Arc<Counter>,
+    /// Shard workers respawned by the supervisor after a death.
+    pub worker_restarts: Arc<Counter>,
+    /// Decode jobs lost with a worker death (dequeued, never completed).
+    pub jobs_lost: Arc<Counter>,
+    /// Pairs shed under sustained backpressure.
+    pub pairs_shed: Arc<Counter>,
+    /// Shards currently flagged stalled by the watchdog.
+    pub shards_stalled: Arc<Gauge>,
     /// Verdicts by kind; summed for `verdicts_emitted`.
     pub verdicts_correlated: Arc<Counter>,
     pub verdicts_cleared: Arc<Counter>,
     pub verdicts_evicted: Arc<Counter>,
+    pub verdicts_degraded: Arc<Counter>,
     /// Wall-clock decode latency, recorded by shard workers.
     pub decode_latency: Arc<Histogram>,
 }
@@ -83,6 +92,22 @@ impl EngineMetrics {
                 "monitor_worker_panics_total",
                 "Decode panics caught in worker threads",
             ),
+            worker_restarts: r.counter(
+                "monitor_worker_restarts_total",
+                "Shard workers respawned by the supervisor after a death",
+            ),
+            jobs_lost: r.counter(
+                "monitor_jobs_lost_total",
+                "Decode jobs lost with a worker death (dequeued, never completed)",
+            ),
+            pairs_shed: r.counter(
+                "monitor_pairs_shed_total",
+                "Pairs shed under sustained backpressure",
+            ),
+            shards_stalled: r.gauge(
+                "monitor_shards_stalled",
+                "Shards currently flagged stalled by the watchdog",
+            ),
             verdicts_correlated: r.counter_with(
                 "monitor_verdicts_total",
                 &[("kind", "correlated")],
@@ -96,6 +121,11 @@ impl EngineMetrics {
             verdicts_evicted: r.counter_with(
                 "monitor_verdicts_total",
                 &[("kind", "evicted")],
+                "Verdicts emitted, by kind",
+            ),
+            verdicts_degraded: r.counter_with(
+                "monitor_verdicts_total",
+                &[("kind", "degraded")],
                 "Verdicts emitted, by kind",
             ),
             decode_latency: r.histogram(
@@ -112,12 +142,16 @@ impl EngineMetrics {
             Verdict::Correlated { .. } => self.verdicts_correlated.inc(),
             Verdict::Cleared { .. } => self.verdicts_cleared.inc(),
             Verdict::Evicted { .. } => self.verdicts_evicted.inc(),
+            Verdict::Degraded { .. } => self.verdicts_degraded.inc(),
         }
     }
 
     /// Total verdicts emitted, summed across kinds.
     pub fn verdicts_emitted(&self) -> u64 {
-        self.verdicts_correlated.get() + self.verdicts_cleared.get() + self.verdicts_evicted.get()
+        self.verdicts_correlated.get()
+            + self.verdicts_cleared.get()
+            + self.verdicts_evicted.get()
+            + self.verdicts_degraded.get()
     }
 
     /// Registers render-time callbacks exposing one shard queue's

@@ -26,6 +26,39 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 
+/// Why a push was rejected. Carrying the job back makes the rejection
+/// lossless: the caller decides whether to retry, requeue elsewhere, or
+/// account the job as shed — the queue itself never swallows work.
+///
+/// The distinction matters for crash accounting: `Full` is ordinary
+/// backpressure (the pair retries on a later packet), while
+/// `Disconnected` means the receiving side is gone — enqueueing onto a
+/// dead shard must surface as a typed error rather than silently
+/// accepting a job no one will ever drain, or the conservation
+/// invariant `enqueued == dequeued + depth` could be violated by a
+/// worker death.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the rejected job is returned.
+    Full(T),
+    /// The receiving side is gone; the rejected job is returned.
+    Disconnected(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected job.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Disconnected(item) => item,
+        }
+    }
+
+    /// `true` for [`PushError::Disconnected`].
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, PushError::Disconnected(_))
+    }
+}
+
 /// The producing half of a bounded shard queue. Owned by the engine's
 /// control side; never blocks unless [`push_blocking`] is chosen.
 ///
@@ -72,11 +105,11 @@ pub fn shard_queue<T>(capacity: usize) -> (ShardSender<T>, ShardReceiver<T>) {
 }
 
 impl<T> ShardSender<T> {
-    /// Attempts a non-blocking push. Returns `true` when the job was
-    /// accepted; on a full (or disconnected) queue the job is dropped
-    /// and counted, and the caller is expected to retry with fresher
-    /// data later.
-    pub fn try_push(&self, item: T) -> bool {
+    /// Attempts a non-blocking push. On a full queue or a gone receiver
+    /// the job is handed back in a typed [`PushError`] (and counted as
+    /// dropped); the caller is expected to retry with fresher data
+    /// later, or to account the job explicitly.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         // Increment before the send so the gauge can never be observed
         // below the queue's true occupancy (a post-send increment races
         // the worker's decrement and can wrap the gauge below zero).
@@ -89,15 +122,18 @@ impl<T> ShardSender<T> {
                 // ordering: monotonic conservation counter (enqueued
                 // = dequeued + depth); nothing is published through it.
                 self.enqueued.fetch_add(1, Ordering::Relaxed);
-                true
+                Ok(())
             }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            Err(e) => {
                 // ordering: undo of the optimistic increment above.
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 // ordering: monotonic stat counter, read only by stats
                 // snapshots.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
-                false
+                Err(match e {
+                    TrySendError::Full(item) => PushError::Full(item),
+                    TrySendError::Disconnected(item) => PushError::Disconnected(item),
+                })
             }
         }
     }
@@ -105,32 +141,32 @@ impl<T> ShardSender<T> {
     /// Pushes `item`, spinning until the queue accepts it and calling
     /// `pump` between attempts so the caller can keep draining
     /// completions (a stalled queue plus an undrained completion stream
-    /// must not deadlock). Returns `false` — without consuming progress
-    /// guarantees — only if the receiving side is gone.
-    pub fn push_blocking(&self, item: T, mut pump: impl FnMut()) -> bool {
+    /// must not deadlock). Fails — without consuming progress
+    /// guarantees — only if the receiving side is gone, returning the
+    /// job in [`PushError::Disconnected`].
+    pub fn push_blocking(&self, item: T, mut pump: impl FnMut()) -> Result<(), PushError<T>> {
         // ordering: see try_push — optimistic gauge increment.
         self.depth.fetch_add(1, Ordering::Relaxed);
-        let mut item = Some(item);
+        let mut item = item;
         loop {
-            // lint: allow(no_panic) the Option is refilled on every Full rejection below
-            match self.tx.try_send(item.take().expect("item present")) {
+            match self.tx.try_send(item) {
                 Ok(()) => {
                     // ordering: monotonic conservation counter; see
                     // try_push.
                     self.enqueued.fetch_add(1, Ordering::Relaxed);
-                    return true;
+                    return Ok(());
                 }
                 Err(TrySendError::Full(rejected)) => {
-                    item = Some(rejected);
+                    item = rejected;
                     pump();
                     std::thread::yield_now();
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Disconnected(rejected)) => {
                     // ordering: undo of the optimistic increment above.
                     self.depth.fetch_sub(1, Ordering::Relaxed);
                     // ordering: monotonic stat counter.
                     self.dropped.fetch_add(1, Ordering::Relaxed);
-                    return false;
+                    return Err(PushError::Disconnected(rejected));
                 }
             }
         }
@@ -237,15 +273,16 @@ mod tests {
     #[test]
     fn accepts_until_capacity_then_drops() {
         let (tx, rx) = shard_queue::<u32>(2);
-        assert!(tx.try_push(1));
-        assert!(tx.try_push(2));
-        assert!(!tx.try_push(3));
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok());
+        // A full queue hands the job back, typed.
+        assert_eq!(tx.try_push(3), Err(PushError::Full(3)));
         assert_eq!(tx.depth(), 2);
         assert_eq!(tx.dropped(), 1);
         assert_eq!(tx.enqueued(), 2);
         assert_eq!(rx.recv(), Some(1));
         assert_eq!(tx.depth(), 1);
-        assert!(tx.try_push(4));
+        assert!(tx.try_push(4).is_ok());
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), Some(4));
         let gauges = tx.gauges();
@@ -262,7 +299,7 @@ mod tests {
     #[test]
     fn push_blocking_waits_for_room_and_pumps() {
         let (tx, mut rx) = shard_queue::<u32>(1);
-        assert!(tx.try_push(1));
+        assert!(tx.try_push(1).is_ok());
         let mut pumped = false;
         std::thread::scope(|s| {
             let rx = &mut rx;
@@ -271,19 +308,24 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(10));
                 assert_eq!(rx.recv(), Some(1));
             });
-            assert!(tx.push_blocking(2, || pumped = true));
+            assert!(tx.push_blocking(2, || pumped = true).is_ok());
         });
         assert!(pumped);
         assert_eq!(rx.recv(), Some(2));
     }
 
     #[test]
-    fn disconnected_receiver_counts_as_drop() {
+    fn disconnected_receiver_returns_typed_error_and_counts_a_drop() {
         let (tx, rx) = shard_queue::<u32>(1);
         drop(rx);
-        assert!(!tx.try_push(1));
-        assert!(!tx.push_blocking(2, || {}));
-        assert_eq!(tx.dropped(), 2);
+        assert_eq!(tx.try_push(1), Err(PushError::Disconnected(1)));
+        assert_eq!(tx.push_blocking(2, || {}), Err(PushError::Disconnected(2)));
+        assert!(tx.try_push(3).unwrap_err().is_disconnected());
+        assert_eq!(tx.try_push(4).unwrap_err().into_inner(), 4);
+        assert_eq!(tx.dropped(), 4);
         assert_eq!(tx.depth(), 0);
+        // Conservation holds through the rejections: nothing was
+        // accepted, so nothing is owed.
+        assert_eq!(tx.enqueued(), 0);
     }
 }

@@ -46,6 +46,14 @@ pub struct MonitorStats {
     /// reported as a failed (non-correlating) completion so its pair
     /// still resolves; nonzero means a correlator bug worth chasing.
     pub worker_panics: u64,
+    /// Shard workers respawned by the supervisor after a death.
+    pub worker_restarts: u64,
+    /// Decode jobs lost with a worker death (dequeued but never
+    /// completed). Conservation: `queue_dequeued == decodes_run +
+    /// jobs_lost` whenever no decode is mid-flight.
+    pub jobs_lost: u64,
+    /// Pairs shed under sustained backpressure (terminal `Degraded`).
+    pub pairs_shed: u64,
     /// Verdict events emitted so far.
     pub verdicts_emitted: u64,
 }
@@ -71,6 +79,11 @@ impl fmt::Display for MonitorStats {
             f,
             "decodes: {} scheduled, {} run, {} dropped (backpressure), {} panicked",
             self.decodes_scheduled, self.decodes_run, self.decodes_dropped, self.worker_panics
+        )?;
+        writeln!(
+            f,
+            "chaos:   {} restarts, {} jobs lost, {} pairs shed",
+            self.worker_restarts, self.jobs_lost, self.pairs_shed
         )?;
         write!(
             f,

@@ -13,6 +13,9 @@ use crate::ids::{FlowId, PairId};
 /// again. `Cleared` is a terminal negative: the pair's flow ended
 /// (eviction or [`finish`][fin]) without any decode correlating.
 /// `Evicted` reports a suspicious flow dropped for inactivity.
+/// `Degraded` is terminal like `Cleared`, but means the engine could
+/// not decode the pair reliably (worker death, stalled shard, load
+/// shedding) — see [`DegradeReason`].
 ///
 /// [fin]: crate::Monitor::finish
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +49,49 @@ pub enum Verdict {
         /// How long the flow had been idle in stream time.
         idle: TimeDelta,
     },
+    /// Terminal, but *not* a clean negative: the engine could not
+    /// decode this pair reliably and says so instead of silently
+    /// clearing it. Consumers doing false-negative accounting should
+    /// treat `Degraded` as "no evidence", not "evidence of absence".
+    Degraded {
+        /// The degraded pair.
+        pair: PairId,
+        /// Why the engine gave up on clean resolution.
+        reason: DegradeReason,
+    },
+}
+
+/// Why a pair's verdict is [`Verdict::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The pair's decode was lost when its shard worker died; the pair
+    /// had no later chance to decode.
+    WorkerLost,
+    /// The pair's shard was flagged stalled by the watchdog and its
+    /// pending work was abandoned at shutdown.
+    Stalled,
+    /// The pair was shed under sustained backpressure (lowest-priority
+    /// pairs — fewest window packets — go first).
+    Shed,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeReason::WorkerLost => "worker lost",
+            DegradeReason::Stalled => "shard stalled",
+            DegradeReason::Shed => "load shed",
+        })
+    }
 }
 
 impl Verdict {
     /// The pair the verdict is about, if it is a pair verdict.
     pub fn pair(&self) -> Option<PairId> {
         match *self {
-            Verdict::Correlated { pair, .. } | Verdict::Cleared { pair, .. } => Some(pair),
+            Verdict::Correlated { pair, .. }
+            | Verdict::Cleared { pair, .. }
+            | Verdict::Degraded { pair, .. } => Some(pair),
             Verdict::Evicted { .. } => None,
         }
     }
@@ -60,6 +99,11 @@ impl Verdict {
     /// `true` for `Correlated`.
     pub fn is_correlated(&self) -> bool {
         matches!(self, Verdict::Correlated { .. })
+    }
+
+    /// `true` for `Degraded`.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Verdict::Degraded { .. })
     }
 }
 
@@ -83,6 +127,9 @@ impl fmt::Display for Verdict {
             },
             Verdict::Evicted { flow, idle } => {
                 write!(f, "{flow} evicted (idle {idle})")
+            }
+            Verdict::Degraded { pair, reason } => {
+                write!(f, "{pair} degraded ({reason})")
             }
         }
     }

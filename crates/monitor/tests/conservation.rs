@@ -109,7 +109,15 @@ proptest! {
         );
         prop_assert_eq!(stats.queue_enqueued, stats.queue_dequeued, "{}", stats);
         prop_assert_eq!(stats.decodes_scheduled, stats.queue_enqueued, "{}", stats);
-        prop_assert_eq!(stats.decodes_run, stats.queue_dequeued, "{}", stats);
+        // Every dequeued job either completed or died with a worker;
+        // without a fault hook nothing dies, so jobs_lost must be 0 and
+        // the classic `decodes_run == dequeued` form falls out.
+        prop_assert_eq!(
+            stats.decodes_run + stats.jobs_lost, stats.queue_dequeued,
+            "{}", stats
+        );
+        prop_assert_eq!(stats.jobs_lost, 0, "{}", stats);
+        prop_assert_eq!(stats.worker_restarts, 0, "{}", stats);
 
         // The same books, re-read from the rendered exposition text.
         let rendered = registry.render_prometheus();
@@ -133,4 +141,43 @@ proptest! {
             .count();
         prop_assert_eq!(depth_series, shards);
     }
+}
+
+/// Regression (the pre-chaos queue API returned a bare `bool`):
+/// enqueueing onto a shard whose receiving side is gone must surface a
+/// *typed* `Disconnected` error carrying the job back — not a silent
+/// accept that would break `enqueued == dequeued + depth`, and not an
+/// indistinguishable "queue full" drop that would make the caller
+/// retry forever.
+#[test]
+fn dead_shard_enqueue_is_a_typed_error() {
+    use stepstone_monitor::queue::shard_queue;
+    use stepstone_monitor::PushError;
+
+    let (tx, rx) = shard_queue::<u32>(4);
+    assert!(tx.try_push(1).is_ok());
+    assert_eq!(rx.recv(), Some(1));
+    // The worker side dies and takes the receiver with it.
+    drop(rx);
+
+    let err = tx.try_push(2).expect_err("dead shard must reject");
+    assert!(err.is_disconnected(), "got {err:?}, want Disconnected");
+    assert_eq!(err.into_inner(), 2, "the rejected job is handed back");
+    // Full and Disconnected are distinct cases callers can match on.
+    assert!(matches!(tx.try_push(3), Err(PushError::Disconnected(3))));
+
+    // The blocking flush path reports the same condition instead of
+    // spinning forever against a queue nobody will ever drain.
+    let mut pumped = 0u32;
+    let err = tx
+        .push_blocking(4, || pumped += 1)
+        .expect_err("blocking push must fail fast on a dead shard");
+    assert!(err.is_disconnected());
+    assert_eq!(pumped, 0, "no pump spins against a disconnected queue");
+
+    // Conservation survives the rejections: nothing was accepted after
+    // the death, so nothing is owed — and the rejects were counted.
+    assert_eq!(tx.enqueued(), 1);
+    assert_eq!(tx.depth(), 0);
+    assert_eq!(tx.dropped(), 3);
 }

@@ -45,7 +45,7 @@ fn push_drop_drain_accounting() {
         let producer_accepted = Arc::clone(&accepted);
         let producer = loom::thread::spawn(move || {
             for i in 0..PUSHES {
-                if tx.try_push(i) {
+                if tx.try_push(i).is_ok() {
                     // ordering: test counter joined-before the asserts.
                     producer_accepted.fetch_add(1, Ordering::Relaxed);
                 }
@@ -94,7 +94,7 @@ fn multi_producer_accounting() {
                 let accepted = Arc::clone(&accepted);
                 loom::thread::spawn(move || {
                     for i in 0..PUSHES_EACH {
-                        if tx.try_push(p * PUSHES_EACH + i) {
+                        if tx.try_push(p * PUSHES_EACH + i).is_ok() {
                             // ordering: test counter joined-before the asserts.
                             accepted.fetch_add(1, Ordering::Relaxed);
                         }
@@ -136,7 +136,7 @@ fn blocking_push_completes_and_balances() {
         let producer = loom::thread::spawn(move || {
             for i in 0..PUSHES {
                 assert!(
-                    tx.push_blocking(i, loom::thread::yield_now),
+                    tx.push_blocking(i, loom::thread::yield_now).is_ok(),
                     "receiver alive: blocking push must succeed"
                 );
             }
@@ -172,7 +172,7 @@ fn shutdown_mid_stream_drains_cleanly() {
         let producer = loom::thread::spawn(move || {
             let mut accepted = 0usize;
             for i in 0..3 {
-                if tx.try_push(i) {
+                if tx.try_push(i).is_ok() {
                     accepted += 1;
                 }
             }
@@ -204,17 +204,18 @@ fn sender_sees_disconnect_after_receiver_drops() {
         let dropper = loom::thread::spawn(move || drop(rx));
         let mut disconnected = 0u64;
         for i in 0..4 {
-            if !tx.try_push(i) {
+            if tx.try_push(i).is_err() {
                 disconnected += 1;
             }
         }
         dropper.join().expect("dropper");
         // Whatever the interleaving, accounting still balances.
         assert_eq!(tx.dropped() >= disconnected, true);
-        assert!(
-            !tx.push_blocking(99, || {}),
-            "receiver gone: must report disconnect"
-        );
+        let err = tx
+            .push_blocking(99, || {})
+            .expect_err("receiver gone: must report disconnect");
+        assert!(err.is_disconnected());
+        assert_eq!(err.into_inner(), 99, "the rejected job is handed back");
     });
 }
 

@@ -123,6 +123,7 @@ proptest! {
                     prop_assert_eq!(decodes, 1);
                 }
                 Verdict::Evicted { .. } => prop_assert!(false, "no eviction configured"),
+                Verdict::Degraded { .. } => prop_assert!(false, "no chaos configured"),
             }
         }
         prop_assert_eq!(report.stats.decodes_run, 2);

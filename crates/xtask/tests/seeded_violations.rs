@@ -1,5 +1,5 @@
 //! End-to-end check of the acceptance criterion: the lint binary must
-//! exit non-zero when a seeded violation of each of the five rules is
+//! exit non-zero when a seeded violation of each of the six rules is
 //! introduced, report each of them, and emit parseable JSON.
 
 use std::path::{Path, PathBuf};
@@ -63,7 +63,7 @@ fn clean_workspace_exits_zero() {
 #[test]
 fn each_seeded_rule_violation_fails_the_lint() {
     // One violation per rule, each on a known line.
-    let cases: [(&str, &str, &str); 5] = [
+    let cases: [(&str, &str, &str); 6] = [
         (
             "no_panic",
             "crates/a/src/lib.rs",
@@ -83,6 +83,11 @@ fn each_seeded_rule_violation_fails_the_lint() {
             "bounded_queue",
             "crates/monitor/src/extra.rs",
             "pub fn f() { let (_tx, _rx) = std::sync::mpsc::channel::<u8>(); }\n",
+        ),
+        (
+            "heartbeat_touch",
+            "crates/monitor/src/drain.rs",
+            "pub fn worker_drain(ctx: &Ctx) { loop { ctx.step(); } }\n",
         ),
         (
             "forbid_unsafe",

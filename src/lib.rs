@@ -25,6 +25,7 @@
 //! | [`monitor`] | `stepstone-monitor` | online multi-flow correlation engine |
 //! | [`ingest`] | `stepstone-ingest` | pcap/pcapng wire ingestion, flow demux, replay clock |
 //! | [`telemetry`] | `stepstone-telemetry` | lock-free metrics, tracing spans, `/metrics` endpoint |
+//! | [`chaos`] | `stepstone-chaos` | seed-deterministic wire/flow/runtime fault injection |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@
 
 pub use stepstone_adversary as adversary;
 pub use stepstone_baselines as baselines;
+pub use stepstone_chaos as chaos;
 pub use stepstone_core as core;
 pub use stepstone_experiments as experiments;
 pub use stepstone_flow as flow;
