@@ -1,0 +1,356 @@
+//! Length-prefixed binary framing for the coordinator↔worker pipes.
+//!
+//! Every frame is a fixed 14-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic     0x5354_4331 ("STC1"), little-endian
+//! 4       1     version   currently 1
+//! 5       1     msg_type  see `message` module
+//! 6       4     len       payload length, LE, at most MAX_FRAME
+//! 10      4     checksum  FNV-1a/32 over the payload, LE
+//! 14      len   payload
+//! ```
+//!
+//! The decoder is written for hostile input: every length is validated
+//! against [`MAX_FRAME`] *before* any allocation, every read is
+//! bounds-checked, and every defect surfaces as a typed [`WireError`] —
+//! the decode path contains no panic, no unchecked indexing, and no
+//! unbounded read.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Frame magic: "STC1" as a little-endian u32.
+pub const MAGIC: u32 = 0x5354_4331;
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame payload. A batch of [`MAX_BATCH_ENTRIES`]
+/// packet entries is ~100 KiB; 1 MiB leaves generous headroom while
+/// keeping a corrupt length field from provoking a giant allocation.
+///
+/// [`MAX_BATCH_ENTRIES`]: crate::message::MAX_BATCH_ENTRIES
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 14;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying pipe read/write failed.
+    Io(std::io::Error),
+    /// The stream ended inside a frame (header or payload).
+    Truncated,
+    /// The header's magic field is not [`MAGIC`].
+    BadMagic(u32),
+    /// The header's version is not [`VERSION`].
+    BadVersion(u8),
+    /// The header's length field exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// The payload checksum does not match the header.
+    BadChecksum {
+        /// Checksum the header promised.
+        expected: u32,
+        /// Checksum of the payload actually read.
+        actual: u32,
+    },
+    /// The frame's message type byte is not a known message.
+    UnknownType(u8),
+    /// The payload does not decode as its message type.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "pipe I/O failed: {e}"),
+            WireError::Truncated => f.write_str("stream ended inside a frame"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversize(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            WireError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum {actual:#010x} != header {expected:#010x}"
+                )
+            }
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// FNV-1a over `bytes`, 32-bit variant — the frame checksum.
+pub(crate) fn fnv1a32(bytes: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811C_9DC5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Outcome of trying to fill a buffer from a reader.
+enum Fill {
+    /// The stream was already at EOF; nothing read.
+    Empty,
+    /// EOF hit after some bytes — a torn frame.
+    Partial,
+    /// The buffer was filled completely.
+    Full,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing clean EOF (nothing
+/// read at all) from a torn frame (EOF partway through).
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<Fill, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::Empty
+                } else {
+                    Fill::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Reads one frame: `Ok(None)` on a clean EOF at a frame boundary,
+/// `Ok(Some((msg_type, payload)))` on success, a typed error otherwise.
+/// Never panics, whatever the bytes.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(reader, &mut header)? {
+        Fill::Empty => return Ok(None),
+        Fill::Partial => return Err(WireError::Truncated),
+        Fill::Full => {}
+    }
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let msg_type = header[5];
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversize(len));
+    }
+    let expected = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    // `len` is validated against MAX_FRAME above, so this allocation is
+    // bounded no matter what the wire says.
+    let mut payload = vec![0u8; len as usize];
+    if len > 0 {
+        match read_full(reader, &mut payload)? {
+            Fill::Full => {}
+            Fill::Empty | Fill::Partial => return Err(WireError::Truncated),
+        }
+    }
+    let actual = fnv1a32(&payload);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    Ok(Some((msg_type, payload)))
+}
+
+/// Renders a frame for `msg_type` and `payload` into a byte vector.
+///
+/// Fails with [`WireError::Oversize`] when the payload exceeds
+/// [`MAX_FRAME`] — the encoder enforces the same bound the decoder does.
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversize(len));
+    }
+    // lint: allow(bounded_ipc) encode side — payload is ours, len checked against MAX_FRAME above
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&fnv1a32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes one frame to `writer` (no flush — callers batch and flush).
+pub fn write_frame<W: Write>(
+    writer: &mut W,
+    msg_type: u8,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let bytes = encode_frame(msg_type, payload)?;
+    writer.write_all(&bytes)?;
+    Ok(())
+}
+
+/// A bounds-checked reader over a decoded payload. Every accessor
+/// returns [`WireError::BadPayload`] instead of slicing past the end.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::BadPayload(
+                "payload shorter than a declared field",
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Fails unless the payload was consumed exactly — trailing garbage
+    /// would otherwise silently round-trip away.
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload("trailing bytes after the message"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_frame(7, b"hello cluster").unwrap();
+        let mut cursor = std::io::Cursor::new(bytes);
+        let (ty, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(ty, 7);
+        assert_eq!(payload, b"hello cluster");
+        // And the stream then reports a clean EOF.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(9, b"").unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (ty, payload) = read_frame(&mut std::io::Cursor::new(bytes))
+            .unwrap()
+            .unwrap();
+        assert_eq!((ty, payload.len()), (9, 0));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_frame(1, b"x").unwrap();
+        bytes[0] ^= 0xFF;
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode_frame(1, b"x").unwrap();
+        bytes[4] = 99;
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(1, b"x").unwrap();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Oversize(_)), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let mut bytes = encode_frame(1, b"payload").unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::BadChecksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_frames_are_truncated_not_panics() {
+        let bytes = encode_frame(1, b"some payload").unwrap();
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut std::io::Cursor::new(&bytes[..cut])).unwrap_err();
+            assert!(matches!(err, WireError::Truncated), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn encode_refuses_oversize_payloads() {
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        assert!(matches!(
+            encode_frame(1, &big).unwrap_err(),
+            WireError::Oversize(_)
+        ));
+    }
+
+    #[test]
+    fn cursor_is_bounds_checked() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u8().unwrap(), 1);
+        assert!(c.u32().is_err());
+        assert!(c.finish().is_err());
+    }
+}

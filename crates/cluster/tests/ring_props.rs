@@ -1,0 +1,107 @@
+//! Property tests for the consistent-hash ring: total ownership and
+//! minimal movement — the two guarantees the coordinator's rebalancing
+//! logic is built on.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use stepstone_cluster::HashRing;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key has exactly one owner on a non-empty ring, and the
+    /// owner is a worker that is actually on the ring — ownership is a
+    /// total function onto live workers.
+    #[test]
+    fn every_key_has_exactly_one_live_owner(
+        workers in 1u32..9,
+        keys in proptest::collection::vec(0u64..1 << 48, 1..64),
+    ) {
+        let ring = HashRing::with_workers(workers);
+        for &key in &keys {
+            let owner = ring.owner(key);
+            prop_assert!(owner.is_some(), "key {key} has no owner on a non-empty ring");
+            let owner = owner.unwrap_or_default();
+            prop_assert!(ring.contains(owner), "key {key} owned by off-ring worker {owner}");
+            // Deterministic: asking twice gives the same owner.
+            prop_assert_eq!(ring.owner(key), Some(owner));
+        }
+    }
+
+    /// Killing one worker moves only that worker's keys; every key
+    /// owned by a survivor keeps its owner, and the dead worker's keys
+    /// all land on survivors.
+    #[test]
+    fn death_moves_only_the_dead_workers_keys(
+        workers in 2u32..9,
+        victim_draw in 0u32..9,
+        keys in proptest::collection::vec(0u64..1 << 48, 1..128),
+    ) {
+        let victim = victim_draw % workers;
+        let mut ring = HashRing::with_workers(workers);
+        let before: Vec<(u64, u32)> = keys
+            .iter()
+            .map(|&k| (k, ring.owner(k).unwrap_or(u32::MAX)))
+            .collect();
+        ring.remove(victim);
+        for (key, old) in before {
+            let new = ring.owner(key).unwrap_or(u32::MAX);
+            if old == victim {
+                prop_assert!(new != victim, "key {key} still owned by the dead worker");
+                prop_assert!(ring.contains(new), "key {key} moved to off-ring worker {new}");
+            } else {
+                prop_assert_eq!(new, old, "key {} moved though its owner survived", key);
+            }
+        }
+    }
+
+    /// Re-adding the dead worker restores exactly the original
+    /// ownership map (the ring is a pure function of its worker set).
+    #[test]
+    fn rejoin_restores_the_original_map(
+        workers in 2u32..9,
+        victim_draw in 0u32..9,
+        keys in proptest::collection::vec(0u64..1 << 48, 1..64),
+    ) {
+        let victim = victim_draw % workers;
+        let mut ring = HashRing::with_workers(workers);
+        let before: Vec<Option<u32>> = keys.iter().map(|&k| ring.owner(k)).collect();
+        ring.remove(victim);
+        ring.add(victim);
+        let after: Vec<Option<u32>> = keys.iter().map(|&k| ring.owner(k)).collect();
+        prop_assert_eq!(after, before);
+    }
+}
+
+/// On a worker death roughly 1/N of the keys move — and *only* the dead
+/// worker's share. Statistical bound, deterministic inputs: 9000 keys,
+/// 3 workers, so the expected movement is ~3000 keys; vnode variance
+/// keeps each worker's share well inside ±50% of fair.
+#[test]
+fn about_one_nth_of_keys_move_on_death() {
+    let n = 3u32;
+    let total = 9_000u64;
+    let mut ring = HashRing::with_workers(n);
+    let before: HashMap<u64, u32> = (0..total)
+        .map(|k| (k, ring.owner(k).expect("non-empty ring owns every key")))
+        .collect();
+    ring.remove(1);
+    let moved = (0..total)
+        .filter(|k| ring.owner(*k).expect("two workers remain") != before[k])
+        .count() as u64;
+    let fair = total / n as u64;
+    assert!(
+        moved >= fair / 2 && moved <= fair * 2,
+        "expected ~{fair} of {total} keys to move, got {moved}"
+    );
+    // The moved keys are exactly the dead worker's.
+    for k in 0..total {
+        let new = ring.owner(k).expect("two workers remain");
+        if before[&k] == 1 {
+            assert_ne!(new, 1, "key {k} still on the dead worker");
+        } else {
+            assert_eq!(new, before[&k], "key {k} moved though its owner survived");
+        }
+    }
+}

@@ -20,16 +20,36 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stepstone_chaos::FaultPlan;
-use stepstone_experiments::{ablations, diagnostics, figures, live, ExperimentConfig, Scale};
+use stepstone_experiments::{
+    ablations, cluster, diagnostics, figures, live, ExperimentConfig, Scale,
+};
 use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
 use stepstone_telemetry::{MetricsServer, Registry};
 use stepstone_traffic::Seed;
 
+/// Exit code when a `--pcap` replay abandoned the capture tail on a
+/// stream error (the verdicts above it still printed).
+const EXIT_STREAM_ERROR: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    // Hidden entry point: the coordinator respawns this same binary as
+    // `repro cluster-worker` with the IPC frames on stdin/stdout. Not a
+    // user-facing target, so errors skip the usage text.
+    if args.first().map(String::as_str) == Some("cluster-worker") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match cluster::worker_main(&mut stdin.lock(), &mut stdout.lock()) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("repro cluster-worker: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("repro: {msg}");
             eprintln!("{USAGE}");
@@ -40,10 +60,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
              [--pairs N] [--decoys N] [--shards N] [--packets N]
-             [--pcap FILE] [--replay fast|real|xN]
+             [--pcap FILE] [--replay fast|real|xN] [--cluster N]
              [--chaos SEED[:mild|harsh|adversarial]]
              [--metrics-addr HOST:PORT] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all";
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all
+exit codes: 0 ok, 1 usage/runtime error, 3 --pcap replay hit a stream error";
 
 struct Options {
     cfg: ExperimentConfig,
@@ -61,6 +82,9 @@ struct Options {
     replay: ReplayClock,
     /// `monitor` runs under this seed-deterministic fault plan.
     chaos: Option<FaultPlan>,
+    /// `monitor` replays through this many worker processes instead of
+    /// an in-process engine.
+    cluster: Option<u32>,
     /// `monitor` serves live telemetry here (e.g. `127.0.0.1:9184`,
     /// or port `0` for an ephemeral one) and keeps the endpoint up
     /// after the report prints, until the process is killed.
@@ -80,6 +104,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut pcap = None;
     let mut replay = ReplayClock::Fast;
     let mut chaos = None;
+    let mut cluster = None;
     let mut metrics_addr = None;
     let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
@@ -121,6 +146,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--chaos needs SEED[:PROFILE]")?;
                 chaos = Some(FaultPlan::parse(v).map_err(|e| format!("bad --chaos: {e}"))?);
             }
+            "--cluster" => {
+                let n = parse_count(&mut it, "--cluster")?;
+                if n == 0 {
+                    return Err("--cluster must be at least 1".into());
+                }
+                cluster = Some(n as u32);
+            }
             "--metrics-addr" => {
                 metrics_addr = Some(
                     it.next()
@@ -152,22 +184,24 @@ fn parse(args: &[String]) -> Result<Options, String> {
         pcap,
         replay,
         chaos,
+        cluster,
         metrics_addr,
     })
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let opts = parse(args)?;
     if let Some(dir) = &opts.out {
         fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
+    let mut code = 0u8;
     for target in &opts.targets {
-        dispatch(target, &opts)?;
+        code = code.max(dispatch(target, &opts)?);
     }
-    Ok(())
+    Ok(code)
 }
 
-fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
+fn dispatch(target: &str, opts: &Options) -> Result<u8, String> {
     let cfg = &opts.cfg;
     match target {
         "table1" => print!("{}", figures::table1(cfg)),
@@ -211,7 +245,31 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
                     plan.schedule_digest(4096)
                 );
             }
-            if let Some(path) = &opts.pcap {
+            let mut stream_error = false;
+            if let Some(workers) = opts.cluster {
+                let mut copts = cluster::ClusterOptions::new(
+                    workers,
+                    env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?,
+                    vec!["cluster-worker".to_string()],
+                );
+                copts.chaos = opts.chaos;
+                copts.registry = registry;
+                if let Some(path) = &opts.pcap {
+                    let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
+                    let bytes = fs::read(path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    let report =
+                        cluster::cluster_replay_pcap(&scenario, &bytes, opts.replay, &copts)
+                            .map_err(|e| format!("monitor: {e}"))?;
+                    stream_error = report.stream_error.is_some();
+                    println!("{report}");
+                } else {
+                    let scenario = apply_overrides(live::LiveScenario::from_config(cfg), opts)?;
+                    let report = cluster::cluster_replay(&scenario, &copts)
+                        .map_err(|e| format!("monitor: {e}"))?;
+                    println!("{report}");
+                }
+            } else if let Some(path) = &opts.pcap {
                 // Wire mode: correlators come from the scale-independent
                 // wire scenario, packets from the capture file.
                 let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
@@ -224,6 +282,7 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
                     None => live::replay_pcap_with(&scenario, &bytes, opts.replay, registry),
                 }
                 .map_err(|e| format!("monitor: {e}"))?;
+                stream_error = report.outcome.stream_error.is_some();
                 println!("{report}");
             } else {
                 let scenario = apply_overrides(live::LiveScenario::from_config(cfg), opts)?;
@@ -238,6 +297,11 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
                 loop {
                     std::thread::park();
                 }
+            }
+            if stream_error {
+                // The capture tail was abandoned: verdicts above are
+                // honest but incomplete, so say so in the exit code.
+                return Ok(EXIT_STREAM_ERROR);
             }
         }
         "pcap-export" => {
@@ -274,11 +338,11 @@ fn dispatch(target: &str, opts: &Options) -> Result<(), String> {
             dispatch("ablations", opts)?;
             dispatch("diagnostics", opts)?;
             dispatch("extension-hops", opts)?;
-            dispatch("monitor", opts)?;
+            return dispatch("monitor", opts);
         }
         other => return Err(format!("unknown target {other}")),
     }
-    Ok(())
+    Ok(0)
 }
 
 /// Applies the monitor sizing flags to a scenario.

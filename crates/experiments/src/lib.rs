@@ -26,7 +26,9 @@
 //! phase-1 scope, chaff models); the bench crate covers the runtime
 //! axis of the same sweeps. The [`live`] module replays a synthetic
 //! corpus through the `stepstone-monitor` online engine (`repro
-//! monitor`), reporting throughput alongside detection quality.
+//! monitor`), reporting throughput alongside detection quality, and the
+//! [`cluster`] module scales the same replay across a coordinator plus
+//! N worker processes (`repro monitor --cluster N`).
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cluster;
 mod config;
 mod dataset;
 pub mod diagnostics;

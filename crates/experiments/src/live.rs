@@ -183,9 +183,9 @@ impl fmt::Display for LiveReport {
 /// The scenario's derived corpus: a monitor with every upstream
 /// correlator registered, plus the suspicious flows (true downstreams
 /// first, then decoys) keyed by their scenario [`FlowId`].
-struct Corpus {
-    monitor: Monitor,
-    suspicious: Vec<(FlowId, Flow)>,
+pub(crate) struct Corpus {
+    pub(crate) monitor: Monitor,
+    pub(crate) suspicious: Vec<(FlowId, Flow)>,
 }
 
 /// Synthesises the scenario's corpus: watermarked upstreams bound into
@@ -194,7 +194,7 @@ struct Corpus {
 /// so two calls with the same scenario build interchangeable corpora —
 /// the property [`replay_pcap`] relies on to rebuild correlators for a
 /// capture exported earlier.
-fn build_corpus(
+pub(crate) fn build_corpus(
     scenario: &LiveScenario,
     registry: Option<Arc<Registry>>,
     chaos: Option<&FaultPlan>,
@@ -287,13 +287,7 @@ pub fn replay_chaos_with(
         suspicious,
     } = build_corpus(scenario, registry, chaos)?;
 
-    // One time-ordered stream across all suspicious flows, as a tap on
-    // the monitored link would deliver it.
-    let mut events: Vec<(FlowId, Packet)> = suspicious
-        .iter()
-        .flat_map(|(id, flow)| flow.packets().iter().map(move |&p| (*id, p)))
-        .collect();
-    events.sort_by_key(|&(_, p)| p.timestamp());
+    let events = merged_stream(&suspicious);
 
     let mut injector = chaos.map(|plan| plan.flow_injector());
     let mut deliveries: Vec<(FlowId, Packet)> = Vec::new();
@@ -327,9 +321,20 @@ pub fn replay_chaos_with(
     })
 }
 
+/// Merges the suspicious flows into one time-ordered event stream, as a
+/// tap on the monitored link would deliver it.
+pub(crate) fn merged_stream(suspicious: &[(FlowId, Flow)]) -> Vec<(FlowId, Packet)> {
+    let mut events: Vec<(FlowId, Packet)> = suspicious
+        .iter()
+        .flat_map(|(id, flow)| flow.packets().iter().map(move |&p| (*id, p)))
+        .collect();
+    events.sort_by_key(|&(_, p)| p.timestamp());
+    events
+}
+
 /// Tallies correlated verdicts into true/false positives (per the
 /// caller's notion of a true pair) and counts degraded pairs.
-fn score_verdicts<F>(verdicts: &[Verdict], is_true_pair: F) -> (usize, usize, usize)
+pub(crate) fn score_verdicts<F>(verdicts: &[Verdict], is_true_pair: F) -> (usize, usize, usize)
 where
     F: Fn(&stepstone_monitor::PairId) -> bool,
 {

@@ -58,6 +58,21 @@ pub struct MonitorStats {
     pub verdicts_emitted: u64,
 }
 
+impl MonitorStats {
+    /// The engine's conservation identities, as documented on
+    /// [`queue_enqueued`](MonitorStats::queue_enqueued) and
+    /// [`jobs_lost`](MonitorStats::jobs_lost): accepted decode work is
+    /// either still queued, completed, or counted lost. Holds whenever
+    /// no push or decode is mid-flight — always true for the snapshot
+    /// in a final [`MonitorReport`](crate::MonitorReport) — and is the
+    /// invariant the chaos and cluster soak tests assert.
+    pub fn conservation_holds(&self) -> bool {
+        let depth: u64 = self.queue_depths.iter().map(|&d| d as u64).sum();
+        self.queue_enqueued == self.queue_dequeued + depth
+            && self.queue_dequeued == self.decodes_run + self.jobs_lost
+    }
+}
+
 impl fmt::Display for MonitorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -90,5 +105,33 @@ impl fmt::Display for MonitorStats {
             "queues:  {:?} deep, {} enqueued, {} dequeued; verdicts: {}",
             self.queue_depths, self.queue_enqueued, self.queue_dequeued, self.verdicts_emitted
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_checks_both_identities() {
+        let stats = MonitorStats {
+            queue_enqueued: 10,
+            queue_dequeued: 7,
+            queue_depths: vec![1, 2],
+            decodes_run: 6,
+            jobs_lost: 1,
+            ..MonitorStats::default()
+        };
+        assert!(stats.conservation_holds());
+        assert!(!MonitorStats {
+            queue_depths: vec![2, 2],
+            ..stats.clone()
+        }
+        .conservation_holds());
+        assert!(!MonitorStats {
+            jobs_lost: 0,
+            ..stats
+        }
+        .conservation_holds());
     }
 }

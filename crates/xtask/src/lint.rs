@@ -1,6 +1,6 @@
 //! Token-level lint rules enforcing the workspace invariants.
 //!
-//! Six rules, each with a machine-readable id (stable — CI and the
+//! Seven rules, each with a machine-readable id (stable — CI and the
 //! allowlist mechanism key on them):
 //!
 //! | id | invariant |
@@ -11,6 +11,7 @@
 //! | `bounded_queue` | no unbounded channels in `monitor`; `#[bounded]`-tagged queues grow only through their choke-point method |
 //! | `heartbeat_touch` | every `loop` in a `monitor` worker function refreshes the shard heartbeat at the top of each iteration |
 //! | `forbid_unsafe` | every crate root declares `#![forbid(unsafe_code)]` |
+//! | `bounded_ipc` | the `cluster` IPC layer never allocates or reads unboundedly from wire input: no unbounded channels, no `read_to_end`-style reads, every `with_capacity` carries a `.min(..)`/`MAX_*` cap witness |
 //!
 //! A finding on line `L` is suppressed by a comment on `L` or `L-1` of
 //! the form `// lint: allow(<rule>) <reason>` — the reason is
@@ -20,13 +21,14 @@
 use crate::lexer::{lex, Lexed, Tok, TokKind};
 
 /// The stable ids of every lint rule, in report order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no_panic",
     "micros_math",
     "ordering_comment",
     "bounded_queue",
     "heartbeat_touch",
     "forbid_unsafe",
+    "bounded_ipc",
 ];
 
 /// One lint violation.
@@ -74,6 +76,9 @@ pub fn lint_file(class: &FileClass, src: &str) -> Vec<Finding> {
     if class.crate_dir == "monitor" && class.rel_path.contains("/src/") {
         rule_bounded_queue(class, &lexed, &test_mask, &mut findings);
         rule_heartbeat_touch(class, &lexed, &test_mask, &mut findings);
+    }
+    if class.crate_dir == "cluster" && class.rel_path.contains("/src/") {
+        rule_bounded_ipc(class, &lexed, &test_mask, &mut findings);
     }
     if class.is_crate_root {
         rule_forbid_unsafe(class, &lexed, &mut findings);
@@ -590,6 +595,79 @@ fn rule_bounded_queue(
     }
 }
 
+/// The IPC layer decodes frames from another process's stdout — input
+/// that must be treated as hostile (a corrupted or wedged worker must
+/// not take the coordinator with it). Three unboundedness vectors are
+/// forbidden in `crates/cluster`: unbounded `mpsc::channel` (a dead
+/// coordinator loop lets a reader thread buffer without limit),
+/// `read_to_end`/`read_to_string` (a stuck peer pins memory until the
+/// pipe closes, which may be never), and `with_capacity` calls whose
+/// size expression shows no `.min(..)` or `MAX_*` cap witness (a forged
+/// length prefix must not size an allocation).
+fn rule_bounded_ipc(class: &FileClass, lexed: &Lexed, mask: &[bool], findings: &mut Vec<Finding>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if name == "channel" {
+            let call_like = toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+                || (toks.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+                    && toks.get(i + 2).map(|t| t.is_punct(':')) == Some(true));
+            if call_like {
+                push(
+                    findings,
+                    lexed,
+                    "bounded_ipc",
+                    class,
+                    toks[i].line,
+                    "unbounded `mpsc::channel` in the cluster IPC layer; use a bounded \
+                     `sync_channel` or justify with `// lint: allow(bounded_ipc) <reason>`"
+                        .to_string(),
+                );
+            }
+        }
+        if (name == "read_to_end" || name == "read_to_string")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+        {
+            push(
+                findings,
+                lexed,
+                "bounded_ipc",
+                class,
+                toks[i].line,
+                format!(
+                    "`.{name}()` reads unboundedly from the pipe; read length-prefixed \
+                     frames into fixed-size buffers or justify with \
+                     `// lint: allow(bounded_ipc) <reason>`"
+                ),
+            );
+        }
+        if name == "with_capacity" && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true) {
+            let close = match_forward(toks, i + 1, '(', ')');
+            let witnessed = toks[i + 2..close.min(toks.len())].iter().any(|t| {
+                t.is_ident("min") || (t.kind == TokKind::Ident && t.text.contains("MAX_"))
+            });
+            if !witnessed {
+                push(
+                    findings,
+                    lexed,
+                    "bounded_ipc",
+                    class,
+                    toks[i].line,
+                    "`with_capacity` sized without a `.min(..)`/`MAX_*` cap witness; a \
+                     wire-derived length must be clamped before it sizes an allocation, \
+                     or justify with `// lint: allow(bounded_ipc) <reason>`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
 /// A stall watchdog is only as honest as the heartbeats feeding it: a
 /// worker iteration path that forgets to refresh its shard heartbeat
 /// shows up as a false "stalled" flag under load. Every `loop` inside a
@@ -842,6 +920,43 @@ mod tests {
             src
         )
         .is_empty());
+    }
+
+    fn cluster_class() -> FileClass {
+        FileClass {
+            rel_path: "crates/cluster/src/wire.rs".to_string(),
+            crate_dir: "cluster".to_string(),
+            is_library: true,
+            is_crate_root: false,
+        }
+    }
+
+    #[test]
+    fn bounded_ipc_flags_unbounded_channel_and_reads() {
+        let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n\
+                   fn g(r: &mut impl Read) { let mut b = Vec::new(); r.read_to_end(&mut b); }\n\
+                   fn h(cap: usize) { let (tx, rx) = sync_channel::<u8>(cap); }\n";
+        let findings = lint_file(&cluster_class(), src);
+        assert_eq!(rules_of(&findings), vec!["bounded_ipc"; 2]);
+    }
+
+    #[test]
+    fn bounded_ipc_requires_a_cap_witness_on_with_capacity() {
+        let src = "fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n\
+                   fn g(len: u32) -> Vec<u8> { Vec::with_capacity((len as usize).min(1024)) }\n\
+                   fn h(len: u32) -> Vec<u8> { Vec::with_capacity(len.min(MAX_FRAME) as usize) }\n";
+        let findings = lint_file(&cluster_class(), src);
+        assert_eq!(rules_of(&findings), vec!["bounded_ipc"]);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn bounded_ipc_respects_allow_and_other_crates() {
+        let src = "// lint: allow(bounded_ipc) reads a local spec file, not the pipe\n\
+                   fn f(r: &mut impl Read) { let mut b = Vec::new(); r.read_to_end(&mut b); }\n";
+        assert!(lint_file(&cluster_class(), src).is_empty());
+        let src = "fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n";
+        assert!(lint_file(&monitor_class(), src).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! cargo xtask lint [--format text|json] [--root DIR]
 //! ```
 //!
-//! `lint` runs the five invariant rules (see [`lint`] module docs and
+//! `lint` runs the seven invariant rules (see [`lint`] module docs and
 //! DESIGN.md §"Static analysis & invariants") over every Rust source
 //! file in the workspace. Exit codes: 0 clean, 1 findings, 2 usage or
 //! I/O error. There is deliberately no `--fix`: CI runs deny-by-default

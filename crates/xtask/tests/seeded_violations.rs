@@ -1,5 +1,5 @@
 //! End-to-end check of the acceptance criterion: the lint binary must
-//! exit non-zero when a seeded violation of each of the six rules is
+//! exit non-zero when a seeded violation of each of the seven rules is
 //! introduced, report each of them, and emit parseable JSON.
 
 use std::path::{Path, PathBuf};
@@ -63,7 +63,7 @@ fn clean_workspace_exits_zero() {
 #[test]
 fn each_seeded_rule_violation_fails_the_lint() {
     // One violation per rule, each on a known line.
-    let cases: [(&str, &str, &str); 6] = [
+    let cases: [(&str, &str, &str); 7] = [
         (
             "no_panic",
             "crates/a/src/lib.rs",
@@ -93,6 +93,11 @@ fn each_seeded_rule_violation_fails_the_lint() {
             "forbid_unsafe",
             "crates/e/src/lib.rs",
             "pub fn f() {}\n",
+        ),
+        (
+            "bounded_ipc",
+            "crates/cluster/src/extra.rs",
+            "pub fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n",
         ),
     ];
     for (rule, path, src) in cases {
