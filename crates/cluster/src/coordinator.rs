@@ -260,6 +260,8 @@ struct Metrics {
     batches_acked: Arc<Counter>,
     batches_lost: Arc<Counter>,
     packets_routed: Arc<Counter>,
+    packets_acked: Arc<Counter>,
+    packets_rejected: Arc<Counter>,
     packets_lost: Arc<Counter>,
     worker_deaths: Arc<Counter>,
     respawns: Arc<Counter>,
@@ -309,6 +311,7 @@ impl Metrics {
             })
             .collect();
         Metrics {
+            // conserve(batch_ledger): batches_sent = batches_acked + batches_lost
             batches_sent: registry
                 .counter("cluster_batches_sent_total", "Batches framed to workers"),
             batches_acked: registry.counter(
@@ -319,8 +322,17 @@ impl Metrics {
                 "cluster_batches_lost_total",
                 "Batches lost with worker deaths",
             ),
+            // conserve(packet_ledger): packets_routed = packets_acked + packets_rejected + packets_lost
             packets_routed: registry
                 .counter("cluster_packets_routed_total", "Packets routed to workers"),
+            packets_acked: registry.counter(
+                "cluster_packets_acked_total",
+                "Packets a worker accepted into its engine",
+            ),
+            packets_rejected: registry.counter(
+                "cluster_packets_rejected_total",
+                "Packets a worker rejected as out-of-order for their flow",
+            ),
             packets_lost: registry.counter(
                 "cluster_packets_lost_total",
                 "Packets lost with worker deaths",
@@ -669,6 +681,8 @@ impl Cluster {
                             self.stats.packets_rejected += rejected as u64;
                             if let Some(m) = &self.metrics {
                                 m.batches_acked.inc();
+                                m.packets_acked.add(accepted as u64);
+                                m.packets_rejected.add(rejected as u64);
                             }
                         }
                     }
@@ -690,8 +704,15 @@ impl Cluster {
                     }
                     // Coordinator-to-worker frames on a worker's stdout
                     // are protocol noise; ignore rather than bring down
-                    // the topology over one confused child.
-                    _ => {}
+                    // the topology over one confused child. Named
+                    // explicitly (not `_`) so a future Message variant
+                    // fails ipc_exhaustive until this dispatch decides
+                    // how to treat it.
+                    Message::Hello { .. }
+                    | Message::Batch { .. }
+                    | Message::Ping { .. }
+                    | Message::Rebalance { .. }
+                    | Message::Shutdown => {}
                 }
             }
         }

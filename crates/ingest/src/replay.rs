@@ -114,6 +114,7 @@ where
     // one `/metrics` endpoint covers the whole pipeline.
     let registry = monitor.registry();
     demux.bind_registry(&registry);
+    // conserve(replay_delivery): events_total, rejected_total, stream_errors_total
     let events_total = registry.counter(
         "ingest_replay_events_total",
         "Ingest events delivered to the monitor by the replay loop",

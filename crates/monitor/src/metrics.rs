@@ -59,6 +59,7 @@ impl EngineMetrics {
     pub fn new(registry: Arc<Registry>) -> Self {
         let r = &registry;
         EngineMetrics {
+            // conserve(packet_intake): packets_ingested, packets_rejected
             packets_ingested: r.counter(
                 "monitor_packets_ingested_total",
                 "Packets accepted into suspicious flow windows",
@@ -80,6 +81,7 @@ impl EngineMetrics {
                 "monitor_pairs_latched_total",
                 "Pairs latched with a Correlated verdict",
             ),
+            // conserve(decode_ledger): decodes_scheduled = decodes_run + jobs_lost
             decodes_scheduled: r.counter(
                 "monitor_decodes_scheduled_total",
                 "Decode jobs accepted onto a shard queue",
@@ -162,6 +164,7 @@ impl EngineMetrics {
     pub fn register_shard(&self, shard: usize, gauges: &ShardGauges) {
         let shard_label = shard.to_string();
         let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
+        // conserve(shard_queue): enqueued = dequeued + depth; dropped
         let g = gauges.clone();
         self.registry.gauge_fn(
             "monitor_shard_queue_depth",

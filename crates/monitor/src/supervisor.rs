@@ -181,6 +181,7 @@ fn worker_loop(ctx: WorkerContext) {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // lint: allow(lock_order) single-consumer hand-off: each worker holds the shared receiver only while blocked on it, and the watchdog covers stalls
             rx.recv()
         };
         let Some(job) = job else { break };

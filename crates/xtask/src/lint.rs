@@ -18,7 +18,7 @@
 //! mandatory; an empty reason keeps the finding. DESIGN.md §"Static
 //! analysis & invariants" documents each rule's rationale.
 
-use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::lexer::{Lexed, Tok, TokKind};
 
 /// The stable ids of every lint rule, in report order.
 pub const RULES: [&str; 7] = [
@@ -61,31 +61,50 @@ pub struct FileClass {
     pub is_crate_root: bool,
 }
 
-/// Runs every applicable rule over one file.
+/// Runs every applicable rule over one file. The driver binary lexes
+/// once and calls [`run_rule`] per rule instead (for timing); this
+/// wrapper keeps the unit tests' entry point.
+#[cfg(test)]
 pub fn lint_file(class: &FileClass, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
+    let lexed = crate::lexer::lex(src);
     let test_mask = test_region_mask(&lexed.toks);
     let mut findings = Vec::new();
-    if class.is_library {
-        rule_no_panic(class, &lexed, &test_mask, &mut findings);
-        if class.rel_path != "crates/flow/src/time.rs" {
-            rule_micros_math(class, &lexed, &test_mask, &mut findings);
-        }
-    }
-    rule_ordering_comment(class, &lexed, &mut findings);
-    if class.crate_dir == "monitor" && class.rel_path.contains("/src/") {
-        rule_bounded_queue(class, &lexed, &test_mask, &mut findings);
-        rule_heartbeat_touch(class, &lexed, &test_mask, &mut findings);
-    }
-    if class.crate_dir == "cluster" && class.rel_path.contains("/src/") {
-        rule_bounded_ipc(class, &lexed, &test_mask, &mut findings);
-    }
-    if class.is_crate_root {
-        rule_forbid_unsafe(class, &lexed, &mut findings);
+    for rule in RULES {
+        run_rule(rule, class, &lexed, &test_mask, &mut findings);
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings.dedup();
     findings
+}
+
+/// Runs one rule (by id) over a pre-lexed file, applying the same
+/// file-class gating as [`lint_file`]. Lets the driver lex each file
+/// once and time rules individually. Unknown ids are a no-op.
+pub fn run_rule(
+    rule: &str,
+    class: &FileClass,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    match rule {
+        "no_panic" if class.is_library => rule_no_panic(class, lexed, test_mask, findings),
+        "micros_math" if class.is_library && class.rel_path != "crates/flow/src/time.rs" => {
+            rule_micros_math(class, lexed, test_mask, findings)
+        }
+        "ordering_comment" => rule_ordering_comment(class, lexed, findings),
+        "bounded_queue" if class.crate_dir == "monitor" && class.rel_path.contains("/src/") => {
+            rule_bounded_queue(class, lexed, test_mask, findings)
+        }
+        "heartbeat_touch" if class.crate_dir == "monitor" && class.rel_path.contains("/src/") => {
+            rule_heartbeat_touch(class, lexed, test_mask, findings)
+        }
+        "bounded_ipc" if class.crate_dir == "cluster" && class.rel_path.contains("/src/") => {
+            rule_bounded_ipc(class, lexed, test_mask, findings)
+        }
+        "forbid_unsafe" if class.is_crate_root => rule_forbid_unsafe(class, lexed, findings),
+        _ => {}
+    }
 }
 
 /// `true` when a `// lint: allow(<rule>) <reason>` comment with a
@@ -123,7 +142,7 @@ fn push(
 /// body (the attribute's item extends to the matching `}`, or to the
 /// first `;` for bodiless items). `#[cfg(not(test))]` is real code and
 /// is not masked.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -151,7 +170,7 @@ fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
 
 /// Index of the closing delimiter matching the opener at `open`.
 /// Returns `toks.len() - 1` for unbalanced input.
-fn match_forward(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+pub(crate) fn match_forward(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
     let mut depth = 0usize;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct(open_c) {
@@ -169,7 +188,7 @@ fn match_forward(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usiz
 /// Finds where the item starting at `from` ends: the matching `}` of
 /// its body, or the first top-level `;` for bodiless items. Leading
 /// extra attributes are skipped.
-fn item_end(toks: &[Tok], mut from: usize) -> Option<usize> {
+pub(crate) fn item_end(toks: &[Tok], mut from: usize) -> Option<usize> {
     while from < toks.len() {
         if toks[from].is_punct('#') && from + 1 < toks.len() && toks[from + 1].is_punct('[') {
             from = match_forward(toks, from + 1, '[', ']') + 1;
