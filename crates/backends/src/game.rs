@@ -1,0 +1,217 @@
+//! The game-theoretic coverage linker backend.
+//!
+//! After the timing-game line of arXiv 1307.3136: flow linking as a
+//! two-player game between a linker and an interfering adversary who
+//! perturbs (within the bounded delay `Δ`) and injects chaff. The
+//! linker's minimax-safe statistic is order-consistent *coverage* — the
+//! matched fraction of observable upstream packets:
+//!
+//! - Against a **true pair** the adversary cannot push coverage below 1
+//!   by any strategy in the model: delays stay within `[0, Δ]`, so the
+//!   sorted true-packet assignment is order-consistent and complete,
+//!   and greedy earliest-match finds a maximum matching at least that
+//!   large. Chaff only adds candidates; it never unmatches anything.
+//! - Against an **unrelated pair** every match is chance: a window of
+//!   length `Δ` in a rate-`ρ̂` stream is served with probability about
+//!   `q = 1 − e^(−ρ̂Δ)`, so coverage concentrates near `q` with
+//!   binomial fluctuation `√(q(1−q)/observable)`.
+//!
+//! The decision threshold sits `confidence` standard deviations above
+//! `q`. When that threshold climbs past `coverage_cap` the adversary
+//! has saturated the channel — chance coverage is statistically
+//! indistinguishable from true coverage — and the linker abstains
+//! (never correlates) rather than guess: the game's value in that
+//! region belongs to the adversary, which is the regime the paper's
+//! active watermarking is built to escape.
+
+use stepstone_flow::{Flow, TimeDelta};
+
+use crate::matchstats::{order_consistent_stats, MatchStats};
+use crate::{BackendKind, Correlation, CorrelatorBackend};
+
+/// Floor for time quantities entering the chance-match model, in
+/// seconds.
+const MIN_TIME_SECS: f64 = 1e-9;
+
+/// Tunables for [`GameBackend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameConfig {
+    delta: TimeDelta,
+    confidence: f64,
+    coverage_cap: f64,
+    min_observable: usize,
+}
+
+impl GameConfig {
+    /// A configuration for maximum delay `Δ` with the default decision
+    /// constants (4-sigma confidence, 0.995 saturation cap, 16
+    /// observable packets minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative.
+    pub fn new(delta: TimeDelta) -> Self {
+        assert!(!delta.is_negative(), "maximum delay must be non-negative");
+        GameConfig {
+            delta,
+            confidence: 4.0,
+            coverage_cap: 0.995,
+            min_observable: 16,
+        }
+    }
+
+    /// Overrides how many chance-coverage standard deviations the
+    /// threshold sits above `q`.
+    #[must_use]
+    pub fn with_confidence(mut self, sigmas: f64) -> Self {
+        self.confidence = sigmas.max(0.0);
+        self
+    }
+
+    /// Overrides the saturation cap: thresholds above this make the
+    /// pair undecidable (the linker abstains). Clamped to `(0, 1]`.
+    #[must_use]
+    pub fn with_coverage_cap(mut self, cap: f64) -> Self {
+        self.coverage_cap = cap.clamp(f64::EPSILON, 1.0);
+        self
+    }
+
+    /// Overrides the minimum observable upstream packets before the
+    /// linker renders a positive.
+    #[must_use]
+    pub fn with_min_observable(mut self, n: usize) -> Self {
+        self.min_observable = n;
+        self
+    }
+
+    /// The maximum delay `Δ`.
+    pub const fn delta(&self) -> TimeDelta {
+        self.delta
+    }
+}
+
+/// The coverage linker bound to one upstream flow.
+#[derive(Debug, Clone)]
+pub struct GameBackend {
+    config: GameConfig,
+    upstream: Flow,
+}
+
+impl GameBackend {
+    /// Binds the linker to the upstream flow as observed on the wire.
+    pub fn bind(config: GameConfig, upstream: &Flow) -> Self {
+        GameBackend {
+            config,
+            upstream: upstream.clone(),
+        }
+    }
+
+    /// The configuration in use.
+    pub const fn config(&self) -> &GameConfig {
+        &self.config
+    }
+
+    /// The coverage threshold demanded for these matching statistics,
+    /// or `None` when the pair is undecidable (saturated channel, no
+    /// observable packets, or a degenerate span). Exposed for the
+    /// cross-backend experiment tables.
+    pub fn coverage_threshold(&self, stats: &MatchStats) -> Option<f64> {
+        if stats.observable == 0 || stats.span_secs < MIN_TIME_SECS {
+            return None;
+        }
+        let delta_secs = self.config.delta.as_secs_f64().max(MIN_TIME_SECS);
+        let rate_secs = stats.suspicious_total as f64 / stats.span_secs;
+        let q = 1.0 - (-rate_secs * delta_secs).exp();
+        let sigma = (q * (1.0 - q) / stats.observable as f64).sqrt();
+        let theta = q + self.config.confidence * sigma;
+        (theta <= self.config.coverage_cap).then_some(theta)
+    }
+}
+
+impl CorrelatorBackend for GameBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Game
+    }
+
+    fn upstream(&self) -> &Flow {
+        &self.upstream
+    }
+
+    fn decode(&self, suspicious: &Flow) -> Correlation {
+        let stats = order_consistent_stats(&self.upstream, suspicious, self.config.delta);
+        let correlated = stats.observable >= self.config.min_observable.max(1)
+            && self
+                .coverage_threshold(&stats)
+                .is_some_and(|theta| stats.coverage() >= theta);
+        Correlation {
+            correlated,
+            hamming: None,
+            best: None,
+            cost: stats.accesses,
+            matching_cost: stats.accesses,
+            completed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+
+    fn regular_flow(n: usize, ipd_secs: f64, start_secs: f64) -> Flow {
+        Flow::from_timestamps(
+            (0..n)
+                .map(|i| Timestamp::from_micros(((start_secs + i as f64 * ipd_secs) * 1e6) as i64)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delayed_copy_correlates() {
+        let up = regular_flow(60, 1.0, 0.0);
+        let down = up.shifted(TimeDelta::from_millis(400));
+        let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_secs(1)), &up);
+        assert!(backend.decode(&down).correlated);
+    }
+
+    #[test]
+    fn drifting_unrelated_flow_clears() {
+        let up = regular_flow(80, 1.0, 0.0);
+        let decoy = regular_flow(80, 1.07, 0.5);
+        let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_millis(300)), &up);
+        assert!(!backend.decode(&decoy).correlated);
+    }
+
+    #[test]
+    fn saturated_channel_is_undecidable() {
+        // Δ·rate ≈ 30: chance coverage ~1, no threshold under the cap
+        // exists, so even the true pair must get an abstention — the
+        // adversary owns this region of the game.
+        let up = regular_flow(100, 0.1, 0.0);
+        let down = up.shifted(TimeDelta::from_millis(40));
+        let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_secs(3)), &up);
+        let stats = order_consistent_stats(&up, &down, TimeDelta::from_secs(3));
+        assert_eq!(backend.coverage_threshold(&stats), None);
+        assert!(!backend.decode(&down).correlated);
+    }
+
+    #[test]
+    fn empty_and_tiny_windows_never_correlate() {
+        let up = regular_flow(40, 1.0, 0.0);
+        let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_secs(1)), &up);
+        assert!(!backend.decode(&Flow::new()).correlated);
+        assert!(!backend.decode(&regular_flow(3, 1.0, 0.0)).correlated);
+    }
+
+    #[test]
+    fn outcome_is_watermark_free_with_symmetric_costs() {
+        let up = regular_flow(30, 1.0, 0.0);
+        let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_secs(1)), &up);
+        let outcome = backend.decode(&up.shifted(TimeDelta::from_millis(200)));
+        assert_eq!(outcome.hamming, None);
+        assert_eq!(outcome.best, None);
+        assert!(outcome.completed);
+        assert_eq!(outcome.cost, outcome.matching_cost);
+    }
+}

@@ -1,0 +1,83 @@
+//! Pluggable correlator backends behind one seam.
+//!
+//! The paper's four best-watermark algorithms (in `stepstone-core`) are
+//! one way to decide whether a suspicious flow is a downstream relay of
+//! a watched upstream flow. The related literature gives others built
+//! for exactly the same chaff-plus-bounded-delay channel. This crate
+//! defines the contract they all share — [`CorrelatorBackend`]: batch
+//! decode, incremental decode over a sliding window, and cost
+//! accounting — plus two passive detectors that need no watermark at
+//! all:
+//!
+//! | Backend | Source | Decision statistic |
+//! |---------|--------|--------------------|
+//! | [`ElicesBackend`] | Elices & Pérez-González, arXiv 1310.4577 | generalized log-likelihood ratio over the order-consistent IPD matching decomposition |
+//! | [`GameBackend`] | Elices & Pérez-González, arXiv 1307.3136 | minimax matched-coverage test against the chance-matching rate |
+//!
+//! `stepstone-core`'s `BoundCorrelator` is the dispatch seam: it wraps
+//! the paper machinery and these two behind one enum, and the online
+//! monitor decodes through it without knowing which backend is live.
+//! Adding a third-party backend is one module implementing
+//! [`CorrelatorBackend`] plus one enum arm there — no engine changes.
+//!
+//! Both detectors here share one primitive, the greedy order-consistent
+//! matching sweep ([`order_consistent_stats`]): the maximum set of
+//! (upstream, suspicious) packet pairs with `0 ≤ t′ − t ≤ Δ` whose
+//! match times increase monotonically — the same timing constraint the
+//! paper's matching sets encode, collapsed to summary statistics
+//! instead of per-bit candidate sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elices;
+mod game;
+mod kind;
+mod matchstats;
+mod outcome;
+mod stream;
+
+pub use elices::{ElicesBackend, ElicesConfig};
+pub use game::{GameBackend, GameConfig};
+pub use kind::{BackendKind, UnknownBackend};
+pub use matchstats::{order_consistent_stats, MatchStats};
+pub use outcome::Correlation;
+pub use stream::StreamState;
+
+use stepstone_flow::Flow;
+
+/// The contract every correlator backend implements: one watched
+/// upstream flow, judged against many suspicious flows.
+///
+/// Implementations must be `Send + Sync` — the online monitor shares a
+/// backend across its shard worker threads behind an `Arc`.
+pub trait CorrelatorBackend: Send + Sync {
+    /// Which backend this is (stable name for CLI flags, metric labels
+    /// and cluster specs).
+    fn kind(&self) -> BackendKind;
+
+    /// The upstream flow this backend is bound to, as observed on the
+    /// wire. The monitor sizes decode windows from its length.
+    fn upstream(&self) -> &Flow;
+
+    /// Batch decode: decides whether `suspicious` is a downstream flow
+    /// of the bound upstream flow. Must never panic, whatever the
+    /// input — empty flows, chaff floods and fault-mutated timestamps
+    /// included.
+    fn decode(&self, suspicious: &Flow) -> Correlation;
+
+    /// Incremental decode over a sliding-window prefix, accumulating
+    /// cost accounting in `state`.
+    ///
+    /// The default implementation re-decodes the window from scratch —
+    /// the streaming model the monitor's redecode scheduling assumes —
+    /// and records the decode into `state`. Backends with cheaper
+    /// suffix updates may override it, provided the verdict equals the
+    /// batch [`decode`](Self::decode) of the same window (the
+    /// streaming-equals-batch property the test suites pin).
+    fn decode_stream(&self, window: &Flow, state: &mut StreamState) -> Correlation {
+        let outcome = self.decode(window);
+        state.record(&outcome, window.len());
+        outcome
+    }
+}

@@ -1,0 +1,198 @@
+//! The greedy order-consistent matching sweep shared by the passive
+//! backends.
+
+use stepstone_flow::{Flow, TimeDelta};
+
+/// Summary statistics of the maximum order-consistent matching between
+/// an upstream flow and a suspicious window under the timing constraint
+/// `0 ≤ t′ − t ≤ Δ`.
+///
+/// "Observable" restricts the books to upstream packets whose entire
+/// match window `[t, t + Δ]` lies inside the suspicious window's
+/// observed time span: a true downstream packet of an observable
+/// upstream packet *must* appear in the window (absent deletion), so
+/// only observable packets can honestly be counted as misses. Packets
+/// whose windows hang over either edge of the observation are excluded
+/// from both `observable` and `misses` — which is what keeps
+/// sliding-window prefix decodes consistent with full-flow decodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MatchStats {
+    /// Order-consistent matches found, over all upstream packets.
+    pub matched: usize,
+    /// Matches whose upstream packet is observable.
+    pub matched_observable: usize,
+    /// Upstream packets whose full match window the suspicious span
+    /// covers.
+    pub observable: usize,
+    /// Observable upstream packets left unmatched.
+    pub misses: usize,
+    /// Packets in the suspicious window.
+    pub suspicious_total: usize,
+    /// The suspicious window's observed time span in seconds.
+    pub span_secs: f64,
+    /// Packet accesses charged for the sweep (one per pointer advance
+    /// or candidate comparison, mirroring the matching-set meter).
+    pub accesses: u64,
+}
+
+impl MatchStats {
+    /// Matched fraction of the observable upstream packets, in
+    /// `[0, 1]`; zero when nothing is observable.
+    pub fn coverage(&self) -> f64 {
+        if self.observable == 0 {
+            0.0
+        } else {
+            self.matched_observable as f64 / self.observable as f64
+        }
+    }
+
+    /// Suspicious packets left over after the matching: the chaff
+    /// count under the downstream hypothesis.
+    pub fn unmatched_suspicious(&self) -> usize {
+        self.suspicious_total.saturating_sub(self.matched)
+    }
+}
+
+/// Computes [`MatchStats`] with one forward two-pointer sweep.
+///
+/// Greedy earliest-match is a maximum matching here: all match windows
+/// have the same length `Δ` and open in upstream order, so an exchange
+/// argument shows taking the earliest feasible suspicious packet never
+/// blocks a later upstream packet that some other assignment could
+/// serve. Cost is `O(n + m)` comparisons, each charged to `accesses`.
+///
+/// Never panics; empty flows and a non-positive span produce zeroed
+/// stats (with `span_secs` still reported for the degenerate window).
+pub fn order_consistent_stats(upstream: &Flow, suspicious: &Flow, delta: TimeDelta) -> MatchStats {
+    let mut stats = MatchStats {
+        suspicious_total: suspicious.len(),
+        span_secs: suspicious.duration().as_secs_f64(),
+        ..MatchStats::default()
+    };
+    let (Some(first), Some(last)) = (suspicious.first(), suspicious.last()) else {
+        return stats;
+    };
+    let span_lo = first.timestamp();
+    let span_hi = last.timestamp();
+    let m = suspicious.len();
+    let mut j = 0usize;
+    for i in 0..upstream.len() {
+        let t = upstream.timestamp(i);
+        let latest = t + delta;
+        let observable = t >= span_lo && latest <= span_hi;
+        if observable {
+            stats.observable += 1;
+        }
+        // Packets before this window's open can't serve it — nor any
+        // later window, since windows open in upstream order.
+        while j < m && suspicious.timestamp(j) < t {
+            stats.accesses += 1;
+            j += 1;
+        }
+        stats.accesses += 1;
+        if j < m && suspicious.timestamp(j) <= latest {
+            stats.matched += 1;
+            if observable {
+                stats.matched_observable += 1;
+            }
+            // Consuming the match keeps the assignment order-consistent:
+            // the next upstream packet must match strictly later.
+            j += 1;
+        } else if observable {
+            stats.misses += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::Timestamp;
+
+    fn flow(micros: &[i64]) -> Flow {
+        Flow::from_timestamps(micros.iter().copied().map(Timestamp::from_micros)).unwrap()
+    }
+
+    #[test]
+    fn empty_flows_are_zeroed() {
+        let empty = Flow::new();
+        let some = flow(&[0, 1_000_000]);
+        let delta = TimeDelta::from_secs(1);
+        assert_eq!(order_consistent_stats(&empty, &empty, delta).matched, 0);
+        assert_eq!(order_consistent_stats(&some, &empty, delta).matched, 0);
+        let s = order_consistent_stats(&empty, &some, delta);
+        assert_eq!((s.matched, s.observable, s.misses), (0, 0, 0));
+        assert_eq!(s.suspicious_total, 2);
+    }
+
+    #[test]
+    fn identical_flows_fully_match() {
+        let f = flow(&[0, 1_000_000, 2_500_000, 4_000_000]);
+        let s = order_consistent_stats(&f, &f, TimeDelta::from_secs(1));
+        assert_eq!(s.matched, 4);
+        assert_eq!(s.misses, 0);
+        // The last packet's window overhangs the span end.
+        assert_eq!(s.observable, 3);
+        assert_eq!(s.matched_observable, 3);
+        assert_eq!(s.coverage(), 1.0);
+    }
+
+    #[test]
+    fn shifted_copy_within_delta_fully_matches() {
+        let up = flow(&[0, 1_000_000, 2_500_000, 4_000_000, 6_000_000]);
+        let down = up.shifted(TimeDelta::from_millis(700));
+        let s = order_consistent_stats(&up, &down, TimeDelta::from_secs(1));
+        assert_eq!(s.matched, up.len());
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn disjoint_flows_miss_everything_observable() {
+        let up = flow(&[0, 1_000_000, 2_000_000]);
+        // Suspicious span covers the upstream windows but every packet
+        // sits just outside each window.
+        let down = flow(&[-500_000, 1_800_000, 3_900_000]);
+        let s = order_consistent_stats(&up, &down, TimeDelta::from_millis(500));
+        // Window [1.0s, 1.5s] is inside [-0.5s, 3.9s] and unserved
+        // (1.8s > 1.5s); window [2.0s, 2.5s] likewise.
+        assert_eq!(s.observable, 3);
+        assert!(s.misses >= 2, "{s:?}");
+        assert!(s.coverage() < 0.5, "{s:?}");
+    }
+
+    #[test]
+    fn chaff_never_reduces_the_matching() {
+        let up = flow(&[0, 1_000_000, 2_500_000, 4_000_000]);
+        let clean = up.shifted(TimeDelta::from_millis(300));
+        // Interleave chaff between the true matches.
+        let chaffed = flow(&[
+            100_000, 300_000, 900_000, 1_300_000, 2_100_000, 2_800_000, 3_500_000, 4_300_000,
+            4_700_000,
+        ]);
+        let delta = TimeDelta::from_secs(1);
+        let clean_stats = order_consistent_stats(&up, &clean, delta);
+        let chaffed_stats = order_consistent_stats(&up, &chaffed, delta);
+        assert!(chaffed_stats.matched >= clean_stats.matched);
+        assert_eq!(chaffed_stats.misses, 0);
+    }
+
+    #[test]
+    fn order_consistency_consumes_forward_only() {
+        // One suspicious packet serves two overlapping windows at most
+        // once.
+        let up = flow(&[0, 100_000]);
+        let down = flow(&[150_000]);
+        let s = order_consistent_stats(&up, &down, TimeDelta::from_secs(1));
+        assert_eq!(s.matched, 1);
+    }
+
+    #[test]
+    fn accesses_are_charged_linearly() {
+        let up = flow(&[0, 1_000_000, 2_000_000, 3_000_000]);
+        let down = up.shifted(TimeDelta::from_millis(100));
+        let s = order_consistent_stats(&up, &down, TimeDelta::from_secs(1));
+        assert!(s.accesses >= up.len() as u64);
+        assert!(s.accesses <= (up.len() + down.len() + up.len()) as u64);
+    }
+}

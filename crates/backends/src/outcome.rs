@@ -1,0 +1,127 @@
+//! The backend-independent correlation outcome.
+
+use serde::{Deserialize, Serialize};
+use stepstone_watermark::Watermark;
+
+/// The outcome of correlating one suspicious flow against one
+/// watched upstream flow.
+///
+/// Every backend produces this shape. The watermark-specific fields
+/// ([`hamming`](Correlation::hamming), [`best`](Correlation::best)) are
+/// `None` for the passive backends, which decide from timing statistics
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Correlation {
+    /// `true` when the backend's decision statistic crossed its
+    /// detection threshold (for the paper backend: the best watermark's
+    /// Hamming distance is within the scheme threshold).
+    pub correlated: bool,
+    /// Hamming distance of the best watermark found; `None` when the
+    /// matching phase already proved the flows unrelated (an empty or
+    /// infeasible matching set) — or when the backend decodes no
+    /// watermark at all.
+    pub hamming: Option<u32>,
+    /// The best decoded watermark, when one was computed.
+    pub best: Option<Watermark>,
+    /// The cost reported in the paper's figures, in packet accesses.
+    /// For Greedy this is the decode phase alone (the paper charges the
+    /// matching process only to the approaches that consume it — which
+    /// is why Greedy's published cost curve is constant and a failed
+    /// matching costs 0, plotted as 1 on log axes); for the other
+    /// algorithms it includes the matching phase. The passive backends
+    /// do all their work in one matching sweep, so for them `cost`
+    /// equals [`matching_cost`](Correlation::matching_cost).
+    pub cost: u64,
+    /// The matching phase's packet accesses alone (informational; part
+    /// of `cost` except for Greedy).
+    pub matching_cost: u64,
+    /// `false` when a bounded search (Optimal/Brute Force) hit its cost
+    /// bound before finishing.
+    pub completed: bool,
+}
+
+impl Correlation {
+    /// An immediate negative from the matching phase: no feasible
+    /// matching, so no watermark was decoded.
+    pub fn unmatched(cost: u64, matching_cost: u64) -> Self {
+        Correlation {
+            correlated: false,
+            hamming: None,
+            best: None,
+            cost,
+            completed: true,
+            matching_cost,
+        }
+    }
+}
+
+impl std::fmt::Display for Correlation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.hamming {
+            Some(h) => write!(
+                f,
+                "{} (hamming {h}, {} accesses{})",
+                if self.correlated {
+                    "correlated"
+                } else {
+                    "not correlated"
+                },
+                self.cost,
+                if self.completed { "" } else { ", bound hit" }
+            ),
+            None => write!(
+                f,
+                "{} (no watermark, {} accesses)",
+                if self.correlated {
+                    "correlated"
+                } else {
+                    "not correlated"
+                },
+                self.cost
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmatched_outcome_shape() {
+        let c = Correlation::unmatched(42, 42);
+        assert!(!c.correlated);
+        assert_eq!(c.hamming, None);
+        assert_eq!(c.cost, 42);
+        assert!(c.completed);
+        assert!(c.to_string().contains("no watermark"));
+    }
+
+    #[test]
+    fn display_mentions_bound_hits() {
+        let c = Correlation {
+            correlated: true,
+            hamming: Some(3),
+            best: None,
+            cost: 10,
+            matching_cost: 4,
+            completed: false,
+        };
+        assert!(c.to_string().contains("bound hit"));
+    }
+
+    #[test]
+    fn watermark_free_positive_renders() {
+        let c = Correlation {
+            correlated: true,
+            hamming: None,
+            best: None,
+            cost: 7,
+            matching_cost: 7,
+            completed: true,
+        };
+        let s = c.to_string();
+        assert!(s.starts_with("correlated"), "{s}");
+        assert!(s.contains("no watermark"), "{s}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Cost accounting carried across one pair's incremental decodes.
+
+use crate::Correlation;
+
+/// Accumulated accounting for one (upstream, suspicious) pair's
+/// streaming decode history, fed by
+/// [`CorrelatorBackend::decode_stream`](crate::CorrelatorBackend::decode_stream).
+///
+/// The online monitor re-decodes a pair every `decode_batch` new
+/// packets; this state answers "what did that cost in total" — decodes
+/// run, packet accesses billed, the widest window decoded — and whether
+/// any decode in the history correlated (the latched verdict the
+/// engine's terminal `Correlated` mirrors).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StreamState {
+    decodes: u64,
+    accesses: u64,
+    peak_window: usize,
+    latched: bool,
+}
+
+impl StreamState {
+    /// Fresh state: nothing decoded yet.
+    pub fn new() -> Self {
+        StreamState::default()
+    }
+
+    /// Records one completed decode over a window of `window_len`
+    /// packets. Billing follows the engine's convention: `cost` plus
+    /// `matching_cost` (the matching phase is billed separately for
+    /// Greedy and included for everyone else; summing both is the
+    /// upper bound the monitor reports on its verdicts).
+    pub fn record(&mut self, outcome: &Correlation, window_len: usize) {
+        self.decodes += 1;
+        self.accesses = self
+            .accesses
+            .saturating_add(outcome.cost)
+            .saturating_add(outcome.matching_cost);
+        self.peak_window = self.peak_window.max(window_len);
+        self.latched |= outcome.correlated;
+    }
+
+    /// Decodes recorded so far.
+    pub const fn decodes(&self) -> u64 {
+        self.decodes
+    }
+
+    /// Total packet accesses billed across the recorded decodes.
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The largest window decoded so far, in packets.
+    pub const fn peak_window(&self) -> usize {
+        self.peak_window
+    }
+
+    /// `true` once any recorded decode correlated — the pair's latched
+    /// terminal verdict.
+    pub const fn latched(&self) -> bool {
+        self.latched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_latches() {
+        let mut state = StreamState::new();
+        let negative = Correlation::unmatched(5, 3);
+        state.record(&negative, 10);
+        assert_eq!(state.decodes(), 1);
+        assert_eq!(state.accesses(), 8);
+        assert_eq!(state.peak_window(), 10);
+        assert!(!state.latched());
+
+        let positive = Correlation {
+            correlated: true,
+            hamming: None,
+            best: None,
+            cost: 7,
+            matching_cost: 7,
+            completed: true,
+        };
+        state.record(&positive, 6);
+        assert_eq!(state.decodes(), 2);
+        assert_eq!(state.accesses(), 22);
+        assert_eq!(state.peak_window(), 10, "peak keeps the widest window");
+        assert!(state.latched());
+
+        state.record(&negative, 4);
+        assert!(state.latched(), "latched verdicts stay latched");
+    }
+}

@@ -1,0 +1,91 @@
+//! Backend decode cost: one full-window batch decode of every
+//! suspicious flow against one bound upstream, at 1, 8 and 64 candidate
+//! pairs, for each [`BackendKind`].
+//!
+//! Flows and correlators are prepared outside the measured section;
+//! each iteration decodes the whole candidate set, so time/iter divided
+//! by the pair count is the per-pair decode latency. The first flow is
+//! the true downstream, the rest are decoys — the same mix the monitor
+//! sees, so the paper backend's early-exit asymmetry (cheap clears,
+//! expensive confirms) is represented in proportion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
+use stepstone_core::{Algorithm, BackendKind, BoundCorrelator, WatermarkCorrelator};
+use stepstone_flow::{Flow, TimeDelta, Timestamp};
+use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
+use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkKey, WatermarkParams};
+
+/// A small scheme keeps a single decode cheap enough that the 64-pair
+/// point stays in benchmark territory.
+fn bench_params() -> WatermarkParams {
+    WatermarkParams {
+        bits: 8,
+        redundancy: 2,
+        offset: 1,
+        adjustment: TimeDelta::from_millis(500),
+        threshold: 2,
+    }
+}
+
+const DELTA: TimeDelta = TimeDelta::from_secs(2);
+const CHAFF: f64 = 1.0;
+
+/// One bound correlator per backend over the same upstream, plus the
+/// suspicious flows (true downstream first, then decoys).
+fn scenario(pairs: usize) -> (Vec<BoundCorrelator>, Vec<Flow>) {
+    let seed = Seed::new(0x90_17_08);
+    let params = bench_params();
+    let gen = SessionGenerator::new(InteractiveProfile::ssh());
+    let interactive =
+        |label: u64| gen.generate(300, Timestamp::ZERO, &mut seed.child(label).rng(0));
+    let attack = |flow: &Flow, label: u64| {
+        AdversaryPipeline::new()
+            .then(UniformPerturbation::new(DELTA))
+            .then(ChaffInjector::new(ChaffModel::Poisson { rate: CHAFF }))
+            .apply(flow, seed.child(label))
+    };
+    let original = interactive(0);
+    let marker = IpdWatermarker::new(WatermarkKey::new(0xB0B), params);
+    let watermark = Watermark::random(params.bits, &mut WatermarkKey::new(1).rng(1));
+    let marked = marker.embed(&original, &watermark).unwrap();
+    let correlators = BackendKind::ALL
+        .map(|kind| {
+            WatermarkCorrelator::new(marker, watermark.clone(), DELTA, Algorithm::GreedyPlus)
+                .bind_backend(kind, CHAFF, &original, &marked)
+                .unwrap()
+        })
+        .to_vec();
+    let mut flows = vec![attack(&marked, 1)];
+    for d in 1..pairs {
+        flows.push(attack(&interactive(100 + d as u64), 200 + d as u64));
+    }
+    (correlators, flows)
+}
+
+fn backend_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_decode");
+    for pairs in [1usize, 8, 64] {
+        let (correlators, flows) = scenario(pairs);
+        for bound in &correlators {
+            group.bench_with_input(
+                BenchmarkId::new(bound.backend().name(), format!("pairs{pairs}")),
+                &pairs,
+                |b, _| {
+                    b.iter(|| {
+                        let mut correlated = 0usize;
+                        for flow in &flows {
+                            correlated +=
+                                usize::from(std::hint::black_box(bound.correlate(flow)).correlated);
+                        }
+                        correlated
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backend_decode);
+criterion_main!(benches);

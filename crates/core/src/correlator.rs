@@ -1,5 +1,10 @@
-//! The correlator: matching + algorithm dispatch.
+//! The correlator: matching + algorithm dispatch, and the
+//! [`BoundCorrelator`] seam the online monitor decodes through.
 
+use stepstone_backends::{
+    BackendKind, CorrelatorBackend, ElicesBackend, ElicesConfig, GameBackend, GameConfig,
+    StreamState,
+};
 use stepstone_flow::{Flow, TimeDelta};
 use stepstone_matching::{CostMeter, Matcher, MatchingSets};
 use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkError};
@@ -142,11 +147,44 @@ impl WatermarkCorrelator {
     /// Same contract as [`prepare`](Self::prepare).
     pub fn bind(&self, original: &Flow, marked: &Flow) -> Result<BoundCorrelator, WatermarkError> {
         let plan = self.plan_for(original, marked)?;
-        Ok(BoundCorrelator {
+        Ok(BoundCorrelator::Paper(PaperBackend {
             cfg: self.clone(),
             upstream: marked.clone(),
             plan,
-        })
+        }))
+    }
+
+    /// Binds any [`BackendKind`] to the same upstream pair, producing
+    /// the dispatchable [`BoundCorrelator`] the monitor registers.
+    ///
+    /// The paper backend needs the unmarked `original` to re-derive the
+    /// embedding layout; the passive backends correlate against the
+    /// wire-observed `marked` flow alone, and take `chaff_rate` (chaff
+    /// packets per second; 0 = unknown, estimated per window) as their
+    /// only channel knowledge. `Δ` and any size quantum come from this
+    /// correlator's configuration, so all backends face the same
+    /// channel model.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`prepare`](Self::prepare); the passive
+    /// backends cannot fail.
+    pub fn bind_backend(
+        &self,
+        kind: BackendKind,
+        chaff_rate: f64,
+        original: &Flow,
+        marked: &Flow,
+    ) -> Result<BoundCorrelator, WatermarkError> {
+        match kind {
+            BackendKind::Paper => self.bind(original, marked),
+            BackendKind::Elices => Ok(ElicesBackend::bind(
+                ElicesConfig::new(self.delta).with_chaff_rate(chaff_rate),
+                marked,
+            )
+            .into()),
+            BackendKind::Game => Ok(GameBackend::bind(GameConfig::new(self.delta), marked).into()),
+        }
     }
 
     fn plan_for(&self, original: &Flow, marked: &Flow) -> Result<EndpointPlan, WatermarkError> {
@@ -192,21 +230,18 @@ impl PreparedCorrelator<'_> {
     }
 }
 
-/// An owned, thread-shareable correlator bound to one watermarked
-/// upstream flow.
-///
-/// Produced by [`WatermarkCorrelator::bind`]. Unlike
-/// [`PreparedCorrelator`] it borrows nothing, so it can be wrapped in an
-/// `Arc` and decoded against on any thread — the shape the online
-/// monitor's sharded worker pool needs.
+/// The paper's best-watermark search bound to one watermarked upstream
+/// flow — the [`BackendKind::Paper`] implementation of
+/// [`CorrelatorBackend`]. Owns its configuration, upstream flow and
+/// embedding plan, so it is `Send + Sync` and thread-shareable.
 #[derive(Debug, Clone)]
-pub struct BoundCorrelator {
+pub struct PaperBackend {
     cfg: WatermarkCorrelator,
     upstream: Flow,
     plan: EndpointPlan,
 }
 
-impl BoundCorrelator {
+impl PaperBackend {
     /// The correlator configuration this instance was bound from.
     pub fn config(&self) -> &WatermarkCorrelator {
         &self.cfg
@@ -227,6 +262,100 @@ impl BoundCorrelator {
             plan: &self.plan,
         }
         .correlate(suspicious)
+    }
+}
+
+impl CorrelatorBackend for PaperBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Paper
+    }
+
+    fn upstream(&self) -> &Flow {
+        &self.upstream
+    }
+
+    fn decode(&self, suspicious: &Flow) -> Correlation {
+        self.correlate(suspicious)
+    }
+}
+
+/// An owned, thread-shareable correlator bound to one upstream flow:
+/// one enum arm per [`BackendKind`], dispatching every decode to the
+/// arm's [`CorrelatorBackend`] implementation.
+///
+/// Produced by [`WatermarkCorrelator::bind`] (always the paper arm) or
+/// [`WatermarkCorrelator::bind_backend`]. Unlike [`PreparedCorrelator`]
+/// it borrows nothing, so it can be wrapped in an `Arc` and decoded
+/// against on any thread — the shape the online monitor's sharded
+/// worker pool needs. The monitor and cluster never look inside the
+/// arms: adding a backend means one crate module plus one arm here,
+/// with zero engine changes.
+#[derive(Debug, Clone)]
+pub enum BoundCorrelator {
+    /// The paper's best-watermark search (`stepstone-core`).
+    Paper(PaperBackend),
+    /// The Elices/Pérez-González IPD likelihood-ratio test.
+    Elices(ElicesBackend),
+    /// The game-theoretic coverage linker.
+    Game(GameBackend),
+}
+
+impl BoundCorrelator {
+    /// Which backend decodes for this correlator.
+    pub fn backend(&self) -> BackendKind {
+        self.as_backend().kind()
+    }
+
+    /// The paper correlator configuration, when this is the paper arm.
+    pub fn config(&self) -> Option<&WatermarkCorrelator> {
+        match self {
+            BoundCorrelator::Paper(paper) => Some(paper.config()),
+            _ => None,
+        }
+    }
+
+    /// The upstream flow (as observed on the wire).
+    pub fn upstream(&self) -> &Flow {
+        self.as_backend().upstream()
+    }
+
+    /// Decides whether `suspicious` is a downstream flow of the bound
+    /// upstream flow, whatever the backend.
+    pub fn correlate(&self, suspicious: &Flow) -> Correlation {
+        self.as_backend().decode(suspicious)
+    }
+
+    /// Streaming decode: correlates the current window and folds the
+    /// outcome into `state`'s running cost/verdict books.
+    pub fn correlate_stream(&self, window: &Flow, state: &mut StreamState) -> Correlation {
+        self.as_backend().decode_stream(window, state)
+    }
+
+    /// The active arm as a trait object — the single dispatch point.
+    pub fn as_backend(&self) -> &dyn CorrelatorBackend {
+        match self {
+            BoundCorrelator::Paper(backend) => backend,
+            BoundCorrelator::Elices(backend) => backend,
+            BoundCorrelator::Game(backend) => backend,
+        }
+    }
+}
+
+impl From<PaperBackend> for BoundCorrelator {
+    fn from(backend: PaperBackend) -> Self {
+        BoundCorrelator::Paper(backend)
+    }
+}
+
+impl From<ElicesBackend> for BoundCorrelator {
+    fn from(backend: ElicesBackend) -> Self {
+        BoundCorrelator::Elices(backend)
+    }
+}
+
+impl From<GameBackend> for BoundCorrelator {
+    fn from(backend: GameBackend) -> Self {
+        BoundCorrelator::Game(backend)
     }
 }
 

@@ -59,5 +59,13 @@ mod greedy_plus;
 mod optimal;
 mod outcome;
 
-pub use correlator::{BoundCorrelator, Phase1Scope, PreparedCorrelator, WatermarkCorrelator};
+pub use correlator::{
+    BoundCorrelator, PaperBackend, Phase1Scope, PreparedCorrelator, WatermarkCorrelator,
+};
 pub use outcome::{Algorithm, Correlation};
+// The backend seam, re-exported so monitor-layer crates need only one
+// `stepstone_core` import to select, bind and label backends.
+pub use stepstone_backends::{
+    BackendKind, CorrelatorBackend, ElicesBackend, ElicesConfig, GameBackend, GameConfig,
+    StreamState, UnknownBackend,
+};

@@ -1,7 +1,12 @@
 //! Algorithm selection and correlation outcomes.
 
 use serde::{Deserialize, Serialize};
-use stepstone_watermark::Watermark;
+
+// The outcome type every backend produces lives in `stepstone-backends`
+// (the bottom of the backend dependency stack); re-exported here so the
+// paper correlator's callers keep their `stepstone_core::Correlation`
+// path.
+pub use stepstone_backends::Correlation;
 
 /// The paper's default cost bound for the Optimal algorithm (§4.1:
 /// "we also set the bound of computation cost to 10⁶").
@@ -69,67 +74,6 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// The outcome of correlating one suspicious flow against one
-/// watermarked upstream flow.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Correlation {
-    /// `true` when the best watermark's Hamming distance is within the
-    /// detection threshold.
-    pub correlated: bool,
-    /// Hamming distance of the best watermark found; `None` when the
-    /// matching phase already proved the flows unrelated (an empty or
-    /// infeasible matching set).
-    pub hamming: Option<u32>,
-    /// The best decoded watermark, when one was computed.
-    pub best: Option<Watermark>,
-    /// The cost reported in the paper's figures, in packet accesses.
-    /// For Greedy this is the decode phase alone (the paper charges the
-    /// matching process only to the approaches that consume it — which
-    /// is why Greedy's published cost curve is constant and a failed
-    /// matching costs 0, plotted as 1 on log axes); for the other
-    /// algorithms it includes the matching phase.
-    pub cost: u64,
-    /// The matching phase's packet accesses alone (informational; part
-    /// of `cost` except for Greedy).
-    pub matching_cost: u64,
-    /// `false` when a bounded search (Optimal/Brute Force) hit its cost
-    /// bound before finishing.
-    pub completed: bool,
-}
-
-impl Correlation {
-    /// An immediate negative from the matching phase.
-    pub(crate) fn unmatched(cost: u64, matching_cost: u64) -> Self {
-        Correlation {
-            correlated: false,
-            hamming: None,
-            best: None,
-            cost,
-            completed: true,
-            matching_cost,
-        }
-    }
-}
-
-impl std::fmt::Display for Correlation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.hamming {
-            Some(h) => write!(
-                f,
-                "{} (hamming {h}, {} accesses{})",
-                if self.correlated {
-                    "correlated"
-                } else {
-                    "not correlated"
-                },
-                self.cost,
-                if self.completed { "" } else { ", bound hit" }
-            ),
-            None => write!(f, "not correlated (no matching, {} accesses)", self.cost),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,28 +95,5 @@ mod tests {
                 cost_bound: PAPER_COST_BOUND
             }
         ));
-    }
-
-    #[test]
-    fn unmatched_outcome_shape() {
-        let c = Correlation::unmatched(42, 42);
-        assert!(!c.correlated);
-        assert_eq!(c.hamming, None);
-        assert_eq!(c.cost, 42);
-        assert!(c.completed);
-        assert!(c.to_string().contains("no matching"));
-    }
-
-    #[test]
-    fn display_mentions_bound_hits() {
-        let c = Correlation {
-            correlated: true,
-            hamming: Some(3),
-            best: None,
-            cost: 10,
-            matching_cost: 4,
-            completed: false,
-        };
-        assert!(c.to_string().contains("bound hit"));
     }
 }

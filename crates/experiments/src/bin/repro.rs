@@ -5,13 +5,14 @@
 //! targets: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!          figures (3–10)  synthetic (§4.2)  summary (§4.3)
 //!          future-loss future-repack (§6)  monitor (online engine)
-//!          pcap-export (wire fixture)  all
+//!          backends (cross-backend table)  pcap-export (wire fixture)  all
 //! ```
 
 #![forbid(unsafe_code)]
 //!
 //! The `monitor` target additionally honours `--pairs N`, `--decoys N`,
-//! `--shards N` and `--packets N` to size the online replay.
+//! `--shards N` and `--packets N` to size the online replay, and
+//! `--backend paper|elices|game` to pick the correlator backend.
 
 use std::env;
 use std::fs;
@@ -20,8 +21,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stepstone_chaos::FaultPlan;
+use stepstone_core::{BackendKind, UnknownBackend};
 use stepstone_experiments::{
-    ablations, cluster, diagnostics, figures, live, ExperimentConfig, Scale,
+    ablations, backends, cluster, diagnostics, figures, live, ExperimentConfig, Scale,
 };
 use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
@@ -31,6 +33,38 @@ use stepstone_traffic::Seed;
 /// Exit code when a `--pcap` replay abandoned the capture tail on a
 /// stream error (the verdicts above it still printed).
 const EXIT_STREAM_ERROR: u8 = 3;
+
+/// Exit code for an unrecognised `--backend` name. Distinct from the
+/// generic usage error so scripts sweeping backends can tell a typo
+/// from a broken invocation.
+const EXIT_UNKNOWN_BACKEND: u8 = 4;
+
+/// A CLI failure: either a generic usage/runtime error (exit 1, with
+/// the usage text) or an unknown `--backend` name (exit
+/// [`EXIT_UNKNOWN_BACKEND`], with just the valid list — the usage dump
+/// would bury it).
+enum CliError {
+    Usage(String),
+    UnknownBackend(UnknownBackend),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl From<UnknownBackend> for CliError {
+    fn from(err: UnknownBackend) -> Self {
+        CliError::UnknownBackend(err)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -50,7 +84,11 @@ fn main() -> ExitCode {
     }
     match run(&args) {
         Ok(code) => ExitCode::from(code),
-        Err(msg) => {
+        Err(CliError::UnknownBackend(err)) => {
+            eprintln!("repro: {err}");
+            ExitCode::from(EXIT_UNKNOWN_BACKEND)
+        }
+        Err(CliError::Usage(msg)) => {
             eprintln!("repro: {msg}");
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -60,11 +98,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
              [--pairs N] [--decoys N] [--shards N] [--packets N]
+             [--backend paper|elices|game]
              [--pcap FILE] [--replay fast|real|xN] [--cluster N]
              [--chaos SEED[:mild|harsh|adversarial]]
              [--metrics-addr HOST:PORT] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor pcap-export all
-exit codes: 0 ok, 1 usage/runtime error, 3 --pcap replay hit a stream error";
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor backends pcap-export all
+exit codes: 0 ok, 1 usage/runtime error, 3 --pcap replay hit a stream error,
+            4 unknown --backend";
 
 struct Options {
     cfg: ExperimentConfig,
@@ -76,6 +116,8 @@ struct Options {
     decoys: Option<usize>,
     shards: Option<usize>,
     packets: Option<usize>,
+    /// Correlator backend every upstream registers with.
+    backend: BackendKind,
     /// `monitor` reads this capture instead of an in-memory stream.
     pcap: Option<PathBuf>,
     /// Pacing for `--pcap` replay.
@@ -91,7 +133,7 @@ struct Options {
     metrics_addr: Option<String>,
 }
 
-fn parse(args: &[String]) -> Result<Options, String> {
+fn parse(args: &[String]) -> Result<Options, CliError> {
     let mut scale = Scale::Default;
     let mut seed: Option<u64> = None;
     let mut out = None;
@@ -101,6 +143,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut decoys = None;
     let mut shards = None;
     let mut packets = None;
+    let mut backend = BackendKind::default();
     let mut pcap = None;
     let mut replay = ReplayClock::Fast;
     let mut chaos = None;
@@ -120,7 +163,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     Some("quick") => Scale::Quick,
                     Some("default") => Scale::Default,
                     Some("full") => Scale::Full,
-                    other => return Err(format!("bad --scale {other:?}")),
+                    other => return Err(format!("bad --scale {other:?}").into()),
                 };
             }
             "--seed" => {
@@ -135,6 +178,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--decoys" => decoys = Some(parse_count(&mut it, "--decoys")?),
             "--shards" => shards = Some(parse_count(&mut it, "--shards")?),
             "--packets" => packets = Some(parse_count(&mut it, "--packets")?),
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a name")?;
+                backend = BackendKind::parse(v)?;
+            }
             "--pcap" => {
                 pcap = Some(PathBuf::from(it.next().ok_or("--pcap needs a file")?));
             }
@@ -162,7 +209,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--help" | "-h" => return Err("help requested".into()),
             t if !t.starts_with('-') => targets.push(t.to_string()),
-            other => return Err(format!("unknown flag {other}")),
+            other => return Err(format!("unknown flag {other}").into()),
         }
     }
     if targets.is_empty() {
@@ -181,6 +228,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         decoys,
         shards,
         packets,
+        backend,
         pcap,
         replay,
         chaos,
@@ -189,7 +237,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     })
 }
 
-fn run(args: &[String]) -> Result<u8, String> {
+fn run(args: &[String]) -> Result<u8, CliError> {
     let opts = parse(args)?;
     if let Some(dir) = &opts.out {
         fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
@@ -201,7 +249,7 @@ fn run(args: &[String]) -> Result<u8, String> {
     Ok(code)
 }
 
-fn dispatch(target: &str, opts: &Options) -> Result<u8, String> {
+fn dispatch(target: &str, opts: &Options) -> Result<u8, CliError> {
     let cfg = &opts.cfg;
     match target {
         "table1" => print!("{}", figures::table1(cfg)),
@@ -304,6 +352,21 @@ fn dispatch(target: &str, opts: &Options) -> Result<u8, String> {
                 return Ok(EXIT_STREAM_ERROR);
             }
         }
+        "backends" => {
+            let comparison = backends::compare(cfg).map_err(|e| format!("backends: {e}"))?;
+            print!("{comparison}");
+            if let Some(dir) = &opts.out {
+                let scale = match cfg.scale {
+                    Scale::Quick => "quick",
+                    Scale::Default => "default",
+                    Scale::Full => "full",
+                };
+                let path = dir.join("BENCH_backends.json");
+                fs::write(&path, comparison.to_json(scale))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+        }
         "pcap-export" => {
             let scenario = apply_overrides(live::LiveScenario::wire(cfg), opts)?;
             let bytes = live::export_pcap(&scenario).map_err(|e| format!("pcap-export: {e}"))?;
@@ -340,7 +403,7 @@ fn dispatch(target: &str, opts: &Options) -> Result<u8, String> {
             dispatch("extension-hops", opts)?;
             return dispatch("monitor", opts);
         }
-        other => return Err(format!("unknown target {other}")),
+        other => return Err(format!("unknown target {other}").into()),
     }
     Ok(0)
 }
@@ -365,7 +428,7 @@ fn apply_overrides(
     if let Some(n) = opts.packets {
         scenario.packets = n;
     }
-    Ok(scenario)
+    Ok(scenario.with_backend(opts.backend))
 }
 
 fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use stepstone_chaos::{FaultPlan, Profile};
 use stepstone_cluster::{serve, Cluster, ClusterConfig, ClusterStats, WireStats, WorkerSummary};
+use stepstone_core::BackendKind;
 use stepstone_flow::TimeDelta;
 use stepstone_ingest::{parse_capture, CaptureRecord, FlowDemux, IngestError, ReplayClock};
 use stepstone_monitor::{FlowId, Verdict};
@@ -59,6 +60,7 @@ pub fn encode_spec(scenario: &LiveScenario, chaos: Option<&FaultPlan>) -> Vec<u8
         scenario.params.adjustment.as_micros() as u64,
     );
     kv("threshold", scenario.params.threshold as u64);
+    kv("backend", scenario.backend.index() as u64);
     if let Some(plan) = chaos {
         kv("chaos_seed", plan.seed());
         let profile = match plan.profile() {
@@ -97,6 +99,14 @@ pub fn decode_spec(bytes: &[u8]) -> Result<(LiveScenario, Option<FaultPlan>), St
             offset: need("offset")? as usize,
             adjustment: TimeDelta::from_micros(need("adjustment_micros")? as i64),
             threshold: need("threshold")? as u32,
+        },
+        // Absent in specs from older coordinators: default to the
+        // paper backend they implied.
+        backend: match get("backend") {
+            None => BackendKind::default(),
+            Some(index) => *BackendKind::ALL
+                .get(index as usize)
+                .ok_or_else(|| format!("spec has unknown backend index {index}"))?,
         },
     };
     let chaos = match (get("chaos_seed"), get("chaos_profile")) {
@@ -479,6 +489,45 @@ mod tests {
         let spec = encode_spec(&scenario, None);
         let (decoded, _) = decode_spec(&spec).unwrap();
         assert_eq!(decoded.chaff.to_bits(), scenario.chaff.to_bits());
+    }
+
+    #[test]
+    fn spec_round_trips_every_backend() {
+        for kind in BackendKind::ALL {
+            let scenario =
+                LiveScenario::wire(&ExperimentConfig::new(Scale::Quick)).with_backend(kind);
+            let spec = encode_spec(&scenario, None);
+            let (decoded, _) = decode_spec(&spec).unwrap();
+            assert_eq!(decoded.backend, kind);
+            assert_eq!(decoded, scenario);
+        }
+    }
+
+    #[test]
+    fn spec_without_backend_key_defaults_to_paper() {
+        // Workers from before the backend key must keep decoding specs:
+        // strip the line and expect the default.
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let spec = encode_spec(&scenario, None);
+        let stripped: Vec<u8> = String::from_utf8(spec)
+            .unwrap()
+            .lines()
+            .filter(|line| !line.starts_with("backend="))
+            .flat_map(|line| format!("{line}\n").into_bytes())
+            .collect();
+        let (decoded, _) = decode_spec(&stripped).unwrap();
+        assert_eq!(decoded.backend, BackendKind::Paper);
+    }
+
+    #[test]
+    fn spec_with_unknown_backend_index_is_rejected() {
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let spec = String::from_utf8(encode_spec(&scenario, None))
+            .unwrap()
+            .replace("backend=0", "backend=99")
+            .into_bytes();
+        let err = decode_spec(&spec).unwrap_err();
+        assert!(err.contains("unknown backend index 99"), "{err}");
     }
 
     #[test]

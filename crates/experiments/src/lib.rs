@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod backends;
 pub mod cluster;
 mod config;
 mod dataset;

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
 use stepstone_chaos::FaultPlan;
-use stepstone_core::{Algorithm, WatermarkCorrelator};
+use stepstone_core::{Algorithm, BackendKind, BoundCorrelator, WatermarkCorrelator};
 use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
 use stepstone_ingest::{
     parse_capture, replay_capture, replay_records_with, write_flows, FiveTuple, IngestError,
@@ -52,6 +52,8 @@ pub struct LiveScenario {
     pub chaff: f64,
     /// Watermarking scheme.
     pub params: WatermarkParams,
+    /// Which correlator backend every upstream registers with.
+    pub backend: BackendKind,
 }
 
 impl LiveScenario {
@@ -76,7 +78,18 @@ impl LiveScenario {
             delta: cfg.fixed_delta,
             chaff: cfg.fixed_chaff,
             params: cfg.params,
+            backend: BackendKind::Paper,
         }
+    }
+
+    /// The same scenario decoded by `backend` instead. The corpus —
+    /// flows, watermarks, attacks — is unchanged (it derives from the
+    /// seed alone), so reports for different backends over the same
+    /// scenario are directly comparable.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// A small scale-independent scenario for wire-format round-trips:
@@ -96,6 +109,7 @@ impl LiveScenario {
             delta: TimeDelta::from_secs(1),
             chaff: 0.5,
             params: WatermarkParams::small(),
+            backend: BackendKind::Paper,
         }
     }
 
@@ -158,11 +172,12 @@ impl fmt::Display for LiveReport {
         let s = &self.scenario;
         writeln!(
             f,
-            "monitor replay: {} upstreams, {} decoys, {} candidate pairs, {} shards",
+            "monitor replay: {} upstreams, {} decoys, {} candidate pairs, {} shards, backend {}",
             s.upstreams,
             s.decoys,
             s.candidate_pairs(),
-            s.shards
+            s.shards,
+            s.backend
         )?;
         writeln!(
             f,
@@ -186,6 +201,9 @@ impl fmt::Display for LiveReport {
 pub(crate) struct Corpus {
     pub(crate) monitor: Monitor,
     pub(crate) suspicious: Vec<(FlowId, Flow)>,
+    /// The bound correlators, indexed by upstream id — clones of what
+    /// the monitor registered, for offline (batch) decode accounting.
+    pub(crate) correlators: Vec<BoundCorrelator>,
 }
 
 /// Synthesises the scenario's corpus: watermarked upstreams bound into
@@ -228,6 +246,7 @@ pub(crate) fn build_corpus(
     }
     let mut monitor = Monitor::new(config);
     let mut suspicious: Vec<(FlowId, Flow)> = Vec::new();
+    let mut correlators: Vec<BoundCorrelator> = Vec::new();
     for i in 0..scenario.upstreams {
         let branch = scenario.seed.child(i as u64);
         let original = interactive(branch.child(0));
@@ -240,7 +259,10 @@ pub(crate) fn build_corpus(
         let marked = marker.embed(&original, &watermark)?;
         let correlator =
             WatermarkCorrelator::new(marker, watermark, scenario.delta, Algorithm::GreedyPlus);
-        monitor.register_upstream(UpstreamId(i as u64), correlator.bind(&original, &marked)?);
+        let bound =
+            correlator.bind_backend(scenario.backend, scenario.chaff, &original, &marked)?;
+        monitor.register_upstream(UpstreamId(i as u64), bound.clone());
+        correlators.push(bound);
         suspicious.push((FlowId(i as u64), attack(&marked, branch.child(3))));
     }
     for d in 0..scenario.decoys {
@@ -251,6 +273,7 @@ pub(crate) fn build_corpus(
     Ok(Corpus {
         monitor,
         suspicious,
+        correlators,
     })
 }
 
@@ -285,6 +308,7 @@ pub fn replay_chaos_with(
     let Corpus {
         mut monitor,
         suspicious,
+        ..
     } = build_corpus(scenario, registry, chaos)?;
 
     let events = merged_stream(&suspicious);

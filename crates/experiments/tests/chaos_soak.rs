@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use stepstone_chaos::{FaultPlan, Profile};
+use stepstone_core::BackendKind;
 use stepstone_experiments::live::{export_pcap, replay_pcap_chaos, LiveScenario, PcapReport};
 use stepstone_experiments::{ExperimentConfig, Scale};
 use stepstone_ingest::ReplayClock;
@@ -44,7 +45,11 @@ fn soak_scenario() -> LiveScenario {
 }
 
 fn soak(seed: u64) -> (PcapReport, Arc<Registry>) {
-    let scenario = soak_scenario();
+    soak_with(seed, BackendKind::Paper)
+}
+
+fn soak_with(seed: u64, backend: BackendKind) -> (PcapReport, Arc<Registry>) {
+    let scenario = soak_scenario().with_backend(backend);
     let bytes = export_pcap(&scenario).expect("wire corpus synthesises");
     let plan = FaultPlan::new(seed, Profile::Harsh);
     let registry = Arc::new(Registry::new());
@@ -126,6 +131,55 @@ fn harsh_soak_survives_pinned_seeds() {
         assert!(
             terminal.len() >= 2,
             "seed {seed}: harsh wire faults must not erase whole flows"
+        );
+    }
+}
+
+/// Every correlator backend survives the *same* fault plan with the
+/// same books: the plan derives from the seed alone, so swapping the
+/// backend must change verdict content at most — never conservation,
+/// restart visibility, or pair accounting. This is the seam contract
+/// under fire: the engine cannot tell backends apart.
+#[test]
+fn every_backend_survives_identical_fault_plans() {
+    let seed = SOAK_SEEDS[0];
+    for backend in BackendKind::ALL {
+        let (report, _registry) = soak_with(seed, backend);
+        let stats = &report.outcome.monitor_stats;
+
+        assert_eq!(
+            stats.queue_enqueued, stats.queue_dequeued,
+            "{backend}: {stats}"
+        );
+        assert_eq!(
+            stats.queue_depths.iter().sum::<usize>(),
+            0,
+            "{backend}: queues must drain: {stats}"
+        );
+        assert_eq!(
+            stats.decodes_run + stats.jobs_lost,
+            stats.queue_dequeued,
+            "{backend}: {stats}"
+        );
+        assert!(
+            stats.worker_restarts >= 1,
+            "{backend}: the pinned kill must fire regardless of backend: {stats}"
+        );
+
+        let mut terminal: HashMap<PairId, usize> = HashMap::new();
+        for verdict in &report.outcome.verdicts {
+            if let Some(pair) = verdict.pair() {
+                *terminal.entry(pair).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            terminal.values().all(|&n| n == 1),
+            "{backend}: duplicate terminal verdicts: {terminal:?}"
+        );
+        assert_eq!(
+            terminal.len(),
+            stats.flows_active + stats.flows_evicted as usize,
+            "{backend}: every tracked flow's pair must resolve: {stats}"
         );
     }
 }

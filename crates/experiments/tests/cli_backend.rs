@@ -1,0 +1,58 @@
+//! CLI contract for `repro --backend`: valid names reach the monitor,
+//! unknown names exit with the dedicated code and list the valid set.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_backend_exits_4_and_lists_valid_names() {
+    let output = repro()
+        .args(["--scale", "quick", "--backend", "bogus", "monitor"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(output.status.code(), Some(4), "distinct exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown backend"), "stderr: {stderr}");
+    for name in ["paper", "elices", "game"] {
+        assert!(stderr.contains(name), "valid list missing {name}: {stderr}");
+    }
+    // The typo diagnosis must not be buried under the usage dump.
+    assert!(!stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn backend_flag_without_a_value_is_a_usage_error() {
+    let output = repro()
+        .args(["monitor", "--backend"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--backend needs a name"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn every_valid_backend_runs_the_monitor_replay() {
+    for name in ["paper", "elices", "game"] {
+        let output = repro()
+            .args(["--scale", "quick", "--backend", name, "monitor"])
+            .output()
+            .expect("repro runs");
+        assert!(
+            output.status.success(),
+            "--backend {name}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(&format!("backend {name}")),
+            "--backend {name} report: {stdout}"
+        );
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
 
-use stepstone_core::BoundCorrelator;
+use stepstone_core::{BackendKind, BoundCorrelator};
 use stepstone_flow::{Packet, SlidingWindow, Timestamp};
 use stepstone_telemetry::{span, Registry};
 
@@ -64,6 +64,10 @@ struct Control {
     /// Pairs whose flow was evicted while a decode was in flight; kept
     /// so the completion still resolves to a terminal verdict.
     orphans: HashMap<PairId, PairState>,
+    /// Which backend decodes each registered upstream, so terminal
+    /// verdicts can be counted under their backend label without
+    /// touching the correlator `Arc`s.
+    backends: BTreeMap<UpstreamId, BackendKind>,
     /// Verdicts awaiting [`Monitor::drain_verdicts`]. Grows by one per
     /// pair/flow lifecycle event and is bounded by the number of live
     /// pairs between drains; all growth is audited through `emit`.
@@ -82,6 +86,7 @@ impl Control {
         Control {
             suspects: HashMap::new(),
             orphans: HashMap::new(),
+            backends: BTreeMap::new(),
             verdicts: VecDeque::new(),
             clock: None,
             metrics,
@@ -180,6 +185,19 @@ impl Control {
     /// The single choke point through which the verdict queue grows.
     fn emit(&mut self, verdict: Verdict) {
         self.metrics.count_verdict(&verdict);
+        // Correlated/Cleared are the per-backend decode outcomes;
+        // Evicted is per-flow and Degraded is an engine-health event,
+        // neither attributable to a backend's decision quality.
+        let attributed = match &verdict {
+            Verdict::Correlated { pair, .. } => Some((pair.upstream, true)),
+            Verdict::Cleared { pair, .. } => Some((pair.upstream, false)),
+            Verdict::Evicted { .. } | Verdict::Degraded { .. } => None,
+        };
+        if let Some((upstream, correlated)) = attributed {
+            if let Some(&backend) = self.backends.get(&upstream) {
+                self.metrics.count_backend_verdict(backend, correlated);
+            }
+        }
         self.verdicts.push_back(verdict);
     }
 }
@@ -308,6 +326,7 @@ impl Monitor {
     ///
     /// Panics if `id` is already registered.
     pub fn register_upstream(&mut self, id: UpstreamId, correlator: BoundCorrelator) {
+        self.control.backends.insert(id, correlator.backend());
         let previous = self.upstreams.insert(id, Arc::new(correlator));
         assert!(previous.is_none(), "upstream {id} registered twice");
     }

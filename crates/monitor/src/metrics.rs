@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use stepstone_core::BackendKind;
 use stepstone_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::queue::ShardGauges;
@@ -52,6 +53,14 @@ pub(crate) struct EngineMetrics {
     pub verdicts_degraded: Arc<Counter>,
     /// Wall-clock decode latency, recorded by shard workers.
     pub decode_latency: Arc<Histogram>,
+    /// Decode latency split by correlator backend, indexed by
+    /// [`BackendKind::index`]. Recorded alongside `decode_latency` (the
+    /// aggregate keeps its unlabeled family for existing dashboards).
+    pub backend_decode_latency: Vec<Arc<Histogram>>,
+    /// Terminal `Correlated`/`Cleared` verdicts split by backend,
+    /// indexed by [`BackendKind::index`] then 0 = correlated,
+    /// 1 = cleared.
+    pub backend_verdicts: Vec<[Arc<Counter>; 2]>,
 }
 
 impl EngineMetrics {
@@ -134,8 +143,41 @@ impl EngineMetrics {
                 "monitor_decode_latency_micros",
                 "Wall-clock decode latency in microseconds",
             ),
+            backend_decode_latency: BackendKind::ALL
+                .iter()
+                .map(|kind| {
+                    r.histogram_with(
+                        "monitor_backend_decode_latency_micros",
+                        &[("backend", kind.name())],
+                        "Wall-clock decode latency in microseconds, by correlator backend",
+                    )
+                })
+                .collect(),
+            backend_verdicts: BackendKind::ALL
+                .iter()
+                .map(|kind| {
+                    [
+                        r.counter_with(
+                            "monitor_backend_verdicts_total",
+                            &[("backend", kind.name()), ("kind", "correlated")],
+                            "Terminal verdicts emitted, by correlator backend and kind",
+                        ),
+                        r.counter_with(
+                            "monitor_backend_verdicts_total",
+                            &[("backend", kind.name()), ("kind", "cleared")],
+                            "Terminal verdicts emitted, by correlator backend and kind",
+                        ),
+                    ]
+                })
+                .collect(),
             registry,
         }
+    }
+
+    /// Counts a terminal `Correlated` (`correlated = true`) or
+    /// `Cleared` verdict under its backend label.
+    pub fn count_backend_verdict(&self, backend: BackendKind, correlated: bool) {
+        self.backend_verdicts[backend.index()][usize::from(!correlated)].inc();
     }
 
     /// Counts `verdict` under its kind label.

@@ -201,17 +201,21 @@ fn worker_loop(ctx: WorkerContext) {
             DecodeFault::None | DecodeFault::Panic => {}
         }
         span!(ctx.metrics.registry.spans(), "decode");
+        let backend_latency =
+            Arc::clone(&ctx.metrics.backend_decode_latency[job.correlator.backend().index()]);
         let outcome = time!(ctx.metrics.decode_latency, {
-            run_contained(
-                || {
-                    if matches!(fault, DecodeFault::Panic) {
-                        // Quiet unwind, caught by the containment.
-                        std::panic::resume_unwind(Box::new(InjectedPanic));
-                    }
-                    job.correlator.correlate(&job.window)
-                },
-                &ctx.metrics.worker_panics,
-            )
+            time!(backend_latency, {
+                run_contained(
+                    || {
+                        if matches!(fault, DecodeFault::Panic) {
+                            // Quiet unwind, caught by the containment.
+                            std::panic::resume_unwind(Box::new(InjectedPanic));
+                        }
+                        job.correlator.correlate(&job.window)
+                    },
+                    &ctx.metrics.worker_panics,
+                )
+            })
         });
         ctx.metrics.decodes_run.inc();
         notice.inflight.set(None);

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use rand::{Rng, RngCore};
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
-use stepstone_core::{Algorithm, WatermarkCorrelator};
+use stepstone_core::{Algorithm, BackendKind, WatermarkCorrelator};
 use stepstone_flow::{Flow, TimeDelta, Timestamp};
 use stepstone_monitor::{FlowId, Monitor, MonitorConfig, PairId, UpstreamId, Verdict};
 use stepstone_traffic::Seed;
@@ -129,5 +129,71 @@ proptest! {
         prop_assert_eq!(report.stats.decodes_run, 2);
         prop_assert_eq!(report.stats.packets_ingested,
             (downstream.len() + decoy.len()) as u64);
+    }
+
+    /// The seam contract, online: for *every* backend, the monitor's
+    /// terminal verdict over a full window equals that backend's batch
+    /// decode of the same flows — the engine adds scheduling, not
+    /// decisions.
+    #[test]
+    fn every_backend_streams_equal_to_batch(
+        flow_seed in 0u64..5000,
+        attack_seed in 0u64..5000,
+        interleave_seed in 0u64..5000,
+        chaff in 0.0f64..2.0,
+    ) {
+        let original = seeded_flow(flow_seed);
+        let delta = TimeDelta::from_secs(3);
+        let attack = |base: &Flow, seed: u64| {
+            AdversaryPipeline::new()
+                .then(UniformPerturbation::new(delta))
+                .then(ChaffInjector::new(ChaffModel::Poisson { rate: chaff }))
+                .apply(base, Seed::new(seed))
+        };
+        for kind in BackendKind::ALL {
+            let marker = IpdWatermarker::new(WatermarkKey::new(flow_seed ^ 77), tiny_params());
+            let watermark = Watermark::random(4, &mut WatermarkKey::new(flow_seed).rng(1));
+            let marked = marker.embed(&original, &watermark).unwrap();
+            let downstream = attack(&marked, attack_seed);
+            let decoy = attack(&seeded_flow(flow_seed ^ 0xDEAD), attack_seed ^ 1);
+            let correlator =
+                WatermarkCorrelator::new(marker, watermark, delta, Algorithm::GreedyPlus);
+            let bound = correlator.bind_backend(kind, chaff, &original, &marked).unwrap();
+            prop_assert_eq!(bound.backend(), kind);
+            let expected = [bound.correlate(&downstream), bound.correlate(&decoy)];
+
+            let mut monitor = Monitor::new(
+                MonitorConfig::default()
+                    .with_window_capacity(downstream.len().max(decoy.len()))
+                    .with_decode_batch(usize::MAX)
+                    .with_shards(2),
+            );
+            monitor.register_upstream(UpstreamId(0), bound);
+            for (flow, packet) in interleave(&downstream, &decoy, interleave_seed) {
+                prop_assert!(monitor.ingest(flow, packet));
+            }
+            let report = monitor.finish();
+
+            for (k, expect) in expected.iter().enumerate() {
+                let pair = PairId { upstream: UpstreamId(0), flow: FlowId(k as u64) };
+                let verdicts: Vec<&Verdict> =
+                    report.verdicts.iter().filter(|v| v.pair() == Some(pair)).collect();
+                prop_assert_eq!(verdicts.len(), 1, "one terminal verdict per pair");
+                match *verdicts[0] {
+                    Verdict::Correlated { hamming, .. } => {
+                        prop_assert!(expect.correlated, "{} must match batch", kind);
+                        // Passive backends have no watermark distance;
+                        // the verdict then carries 0.
+                        prop_assert_eq!(hamming, expect.hamming.unwrap_or(0));
+                    }
+                    Verdict::Cleared { hamming, .. } => {
+                        prop_assert!(!expect.correlated, "{} must match batch", kind);
+                        prop_assert_eq!(hamming, expect.hamming);
+                    }
+                    Verdict::Evicted { .. } => prop_assert!(false, "no eviction configured"),
+                    Verdict::Degraded { .. } => prop_assert!(false, "no chaos configured"),
+                }
+            }
+        }
     }
 }

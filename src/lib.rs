@@ -19,6 +19,7 @@
 //! | [`watermark`] | `stepstone-watermark` | the IPD probabilistic watermark |
 //! | [`matching`] | `stepstone-matching` | matching sets under the timing constraint |
 //! | [`core`] | `stepstone-core` | the four best-watermark algorithms |
+//! | [`backends`] | `stepstone-backends` | the correlator-backend seam + passive Elices/game backends |
 //! | [`baselines`] | `stepstone-baselines` | basic WM, Zhang-Guan, IPD correlation, packet counting |
 //! | [`stats`] | `stepstone-stats` | rates, cost summaries, figures |
 //! | [`experiments`] | `stepstone-experiments` | the paper's tables and figures |
@@ -62,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub use stepstone_adversary as adversary;
+pub use stepstone_backends as backends;
 pub use stepstone_baselines as baselines;
 pub use stepstone_chaos as chaos;
 pub use stepstone_core as core;
@@ -85,7 +87,9 @@ pub mod prelude {
     pub use stepstone_baselines::{
         BasicWatermarkDetector, IpdCorrelationDetector, PacketCountingDetector, ZhangGuanDetector,
     };
-    pub use stepstone_core::{Algorithm, Correlation, WatermarkCorrelator};
+    pub use stepstone_core::{
+        Algorithm, BackendKind, BoundCorrelator, Correlation, WatermarkCorrelator,
+    };
     pub use stepstone_flow::{Flow, FlowBuilder, Packet, Provenance, TimeDelta, Timestamp};
     pub use stepstone_ingest::{
         parse_capture, replay_capture, write_flows, FiveTuple, FlowDemux, PcapWriter, ReplayClock,
