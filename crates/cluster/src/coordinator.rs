@@ -150,8 +150,10 @@ impl ClusterConfig {
     }
 }
 
-/// Capped exponential backoff after `failures` consecutive deaths.
-fn backoff(base: Duration, cap: Duration, failures: u32) -> Duration {
+/// Capped exponential backoff after `failures` consecutive deaths —
+/// the supervisor's respawn schedule, shared with the `repro matrix`
+/// orchestrator so cell retries pace themselves the same way.
+pub fn backoff(base: Duration, cap: Duration, failures: u32) -> Duration {
     base.saturating_mul(1u32 << failures.min(10)).min(cap)
 }
 

@@ -40,7 +40,7 @@ pub mod ring;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::{Cluster, ClusterConfig, ClusterError, ClusterReport, ClusterStats};
+pub use coordinator::{backoff, Cluster, ClusterConfig, ClusterError, ClusterReport, ClusterStats};
 pub use message::{BatchEntry, Message, WireStats};
 pub use ring::HashRing;
 pub use wire::WireError;

@@ -23,7 +23,8 @@ use std::sync::Arc;
 use stepstone_chaos::FaultPlan;
 use stepstone_core::{BackendKind, UnknownBackend};
 use stepstone_experiments::{
-    ablations, backends, cluster, diagnostics, figures, live, ExperimentConfig, Scale,
+    ablations, backends, cluster, diagnostics, figures, live, matrix, scenario_run, serve,
+    ExperimentConfig, Scale,
 };
 use stepstone_ingest::ReplayClock;
 use stepstone_stats::Figure;
@@ -31,7 +32,9 @@ use stepstone_telemetry::{MetricsServer, Registry};
 use stepstone_traffic::Seed;
 
 /// Exit code when a `--pcap` replay abandoned the capture tail on a
-/// stream error (the verdicts above it still printed).
+/// stream error (the verdicts above it still printed). Also used for
+/// `matrix` cells that exhausted their retries: the results above are
+/// honest but incomplete.
 const EXIT_STREAM_ERROR: u8 = 3;
 
 /// Exit code for an unrecognised `--backend` name. Distinct from the
@@ -39,13 +42,26 @@ const EXIT_STREAM_ERROR: u8 = 3;
 /// from a broken invocation.
 const EXIT_UNKNOWN_BACKEND: u8 = 4;
 
-/// A CLI failure: either a generic usage/runtime error (exit 1, with
-/// the usage text) or an unknown `--backend` name (exit
-/// [`EXIT_UNKNOWN_BACKEND`], with just the valid list — the usage dump
-/// would bury it).
+/// Exit code for a scenario that does not parse or validate (a DSL
+/// error, not an infrastructure one).
+const EXIT_BAD_SCENARIO: u8 = 5;
+
+/// Exit code when `--snapshot` points at a file that exists but does
+/// not decode; `repro serve` refuses to silently discard state the
+/// operator expected to resume.
+const EXIT_BAD_SNAPSHOT: u8 = 6;
+
+/// A CLI failure: a generic usage/runtime error (exit 1, with the
+/// usage text), or one of the typed conditions scripts branch on —
+/// unknown `--backend` (exit [`EXIT_UNKNOWN_BACKEND`]), bad scenario
+/// (exit [`EXIT_BAD_SCENARIO`]), bad snapshot (exit
+/// [`EXIT_BAD_SNAPSHOT`]) — which print just their message (the usage
+/// dump would bury it).
 enum CliError {
     Usage(String),
     UnknownBackend(UnknownBackend),
+    Scenario(String),
+    Snapshot(String),
 }
 
 impl From<String> for CliError {
@@ -82,11 +98,38 @@ fn main() -> ExitCode {
             }
         };
     }
+    // Hidden entry point: the matrix supervisor respawns this binary as
+    // `repro matrix-cell` with one canonical spec on stdin and one
+    // result line on stdout.
+    if args.first().map(String::as_str) == Some("matrix-cell") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match matrix::matrix_cell_main(
+            &mut stdin.lock(),
+            &mut stdout.lock(),
+            EXIT_BAD_SCENARIO,
+            EXIT_STREAM_ERROR,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err((code, msg)) => {
+                eprintln!("repro matrix-cell: {msg}");
+                ExitCode::from(code)
+            }
+        };
+    }
     match run(&args) {
         Ok(code) => ExitCode::from(code),
         Err(CliError::UnknownBackend(err)) => {
             eprintln!("repro: {err}");
             ExitCode::from(EXIT_UNKNOWN_BACKEND)
+        }
+        Err(CliError::Scenario(msg)) => {
+            eprintln!("repro: {msg}");
+            ExitCode::from(EXIT_BAD_SCENARIO)
+        }
+        Err(CliError::Snapshot(msg)) => {
+            eprintln!("repro: {msg}");
+            ExitCode::from(EXIT_BAD_SNAPSHOT)
         }
         Err(CliError::Usage(msg)) => {
             eprintln!("repro: {msg}");
@@ -101,10 +144,13 @@ const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out
              [--backend paper|elices|game]
              [--pcap FILE] [--replay fast|real|xN] [--cluster N]
              [--chaos SEED[:mild|harsh|adversarial]]
-             [--metrics-addr HOST:PORT] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor backends pcap-export all
-exit codes: 0 ok, 1 usage/runtime error, 3 --pcap replay hit a stream error,
-            4 unknown --backend";
+             [--metrics-addr HOST:PORT]
+             [--scenario NAME|FILE.scn] [--addr HOST:PORT] [--snapshot FILE]
+             [--scenarios A,B,..] [--backends A,B,..] [--seeds N,M,..]
+             [--workers N] <target>...
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor backends pcap-export\n         scenarios scenario serve matrix all
+exit codes: 0 ok, 1 usage/runtime error, 3 stream error / failed matrix cells,
+            4 unknown --backend, 5 bad scenario, 6 bad snapshot";
 
 struct Options {
     cfg: ExperimentConfig,
@@ -131,6 +177,18 @@ struct Options {
     /// or port `0` for an ephemeral one) and keeps the endpoint up
     /// after the report prints, until the process is killed.
     metrics_addr: Option<String>,
+    /// `scenario` runs this preset name or `.scn` file.
+    scenario: Option<String>,
+    /// `serve` listens here (port 0 picks an ephemeral port, printed
+    /// to stderr).
+    addr: String,
+    /// `serve` persists and restores its session table here.
+    snapshot: Option<PathBuf>,
+    /// `matrix` axes and parallelism.
+    scenarios: Vec<String>,
+    backends_axis: Vec<stepstone_scenario::Backend>,
+    seeds: Vec<u64>,
+    workers: usize,
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
@@ -149,6 +207,17 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
     let mut chaos = None;
     let mut cluster = None;
     let mut metrics_addr = None;
+    let mut scenario = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut snapshot = None;
+    let mut scenarios = vec![
+        "quick-smoke".to_string(),
+        "baseline".to_string(),
+        "deletion-harsh".to_string(),
+    ];
+    let mut backends_axis = stepstone_scenario::Backend::ALL.to_vec();
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut workers: usize = 2;
     let parse_count = |it: &mut std::slice::Iter<String>, flag: &str| {
         it.next()
             .ok_or(format!("{flag} needs a value"))?
@@ -207,6 +276,47 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
                         .to_string(),
                 );
             }
+            "--scenario" => {
+                scenario = Some(
+                    it.next()
+                        .ok_or("--scenario needs a name or file")?
+                        .to_string(),
+                );
+            }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--snapshot" => {
+                snapshot = Some(PathBuf::from(it.next().ok_or("--snapshot needs a file")?));
+            }
+            "--scenarios" => {
+                let v = it.next().ok_or("--scenarios needs A,B,..")?;
+                scenarios = v.split(',').map(str::to_string).collect();
+            }
+            "--backends" => {
+                let v = it.next().ok_or("--backends needs A,B,..")?;
+                backends_axis = v
+                    .split(',')
+                    .map(parse_scenario_backend)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs N,M,..")?;
+                seeds = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad --seeds: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--workers" => {
+                workers = parse_count(&mut it, "--workers")?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
             "--help" | "-h" => return Err("help requested".into()),
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}").into()),
@@ -234,7 +344,29 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
         chaos,
         cluster,
         metrics_addr,
+        scenario,
+        addr,
+        snapshot,
+        scenarios,
+        backends_axis,
+        seeds,
+        workers,
     })
+}
+
+/// Parses a scenario-DSL backend name. Routed through [`CliError`]'s
+/// unknown-backend arm (exit [`EXIT_UNKNOWN_BACKEND`]) the same way
+/// `--backend` is, since the names are pinned to match.
+fn parse_scenario_backend(name: &str) -> Result<stepstone_scenario::Backend, CliError> {
+    let name = name.trim();
+    stepstone_scenario::Backend::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            CliError::UnknownBackend(UnknownBackend {
+                input: name.to_string(),
+            })
+        })
 }
 
 fn run(args: &[String]) -> Result<u8, CliError> {
@@ -386,6 +518,90 @@ fn dispatch(target: &str, opts: &Options) -> Result<u8, CliError> {
             emit(&ablations::ablation_threshold(cfg), opts)?;
             emit(&ablations::ablation_chaff_models(cfg), opts)?;
             print!("{}", ablations::ablation_phase1(cfg));
+        }
+        "scenarios" => {
+            println!(
+                "{:<16} {:<16} {:<11} {:<8}  headline",
+                "name", "digest", "traffic", "backend"
+            );
+            for spec in stepstone_scenario::all_presets() {
+                println!(
+                    "{:<16} {:016x} {:<11} {:<8}  {} upstreams, {} decoys, {} pkts",
+                    spec.name,
+                    spec.digest(),
+                    spec.traffic,
+                    spec.backend,
+                    spec.upstreams,
+                    spec.decoys,
+                    spec.packets,
+                );
+            }
+        }
+        "scenario" => {
+            let name = opts
+                .scenario
+                .as_deref()
+                .ok_or("the scenario target needs --scenario NAME|FILE.scn")?;
+            let spec = matrix::resolve_scenario(name).map_err(CliError::Scenario)?;
+            eprintln!("scenario {} digest {:016x}", spec.name, spec.digest());
+            let outcome = match &opts.pcap {
+                Some(path) => {
+                    let bytes = fs::read(path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    scenario_run::run_spec_pcap(&spec, &bytes, None)
+                }
+                None => scenario_run::run_spec(&spec, None),
+            }
+            .map_err(|e| format!("scenario: {e}"))?;
+            print!("{}", outcome.canonical_verdicts());
+            println!("{outcome}");
+            if outcome.stream_error.is_some() {
+                return Ok(EXIT_STREAM_ERROR);
+            }
+        }
+        "serve" => {
+            let registry = Arc::new(Registry::new());
+            let config = serve::ServeConfig {
+                addr: opts.addr.clone(),
+                snapshot: opts.snapshot.clone(),
+            };
+            let handle = serve::start(&config, &registry).map_err(|e| match e {
+                serve::ServeError::Snapshot(_) => CliError::Snapshot(e.to_string()),
+                _ => CliError::Usage(format!("serve: {e}")),
+            })?;
+            eprintln!(
+                "serving sessions at http://{}/sessions",
+                handle.local_addr()
+            );
+            if let Some(path) = &opts.snapshot {
+                eprintln!("snapshotting state to {}", path.display());
+            }
+            // Serve until killed; the write-through snapshot means even
+            // SIGKILL loses nothing that cannot recompute.
+            loop {
+                std::thread::park();
+            }
+        }
+        "matrix" => {
+            let options = matrix::MatrixOptions {
+                scenarios: opts.scenarios.clone(),
+                backends: opts.backends_axis.clone(),
+                seeds: opts.seeds.clone(),
+                workers: opts.workers,
+                worker_exe: env::current_exe()
+                    .map_err(|e| format!("cannot find own binary: {e}"))?,
+            };
+            let report = matrix::run_matrix(&options).map_err(CliError::Scenario)?;
+            print!("{report}");
+            if let Some(dir) = &opts.out {
+                let path = dir.join("BENCH_scenarios.json");
+                fs::write(&path, report.to_json())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+            if !report.failures.is_empty() {
+                return Ok(EXIT_STREAM_ERROR);
+            }
         }
         "all" => {
             print!("{}", figures::table1(cfg));

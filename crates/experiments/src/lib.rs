@@ -51,8 +51,11 @@ mod dataset;
 pub mod diagnostics;
 pub mod figures;
 pub mod live;
+pub mod matrix;
 mod runner;
+pub mod scenario_run;
 mod schemes;
+pub mod serve;
 
 pub use config::{ExperimentConfig, Scale};
 pub use dataset::{attacked, Dataset, PreparedFlow};

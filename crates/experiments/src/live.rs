@@ -131,11 +131,18 @@ impl LiveScenario {
     /// byte payload and 48-byte chaff sizes, so packet sizes survive
     /// the round-trip exactly.
     pub fn tuple_for(&self, id: FlowId) -> FiveTuple {
-        let low = (id.0 & 0xFF) as u8;
-        let high = ((id.0 >> 8) & 0xFF) as u8;
-        let port = 40_000 + (id.0 & 0xFFFF) as u16;
-        FiveTuple::udp_v4([10, 7, high, low], port, [192, 0, 2, 1], 22)
+        flow_tuple(id)
     }
+}
+
+/// The shared scenario-flow → wire-5-tuple mapping behind
+/// [`LiveScenario::tuple_for`]; the scenario runner uses the same one,
+/// so captures exported from either side demultiplex interchangeably.
+pub(crate) fn flow_tuple(id: FlowId) -> FiveTuple {
+    let low = (id.0 & 0xFF) as u8;
+    let high = ((id.0 >> 8) & 0xFF) as u8;
+    let port = 40_000 + (id.0 & 0xFFFF) as u16;
+    FiveTuple::udp_v4([10, 7, high, low], port, [192, 0, 2, 1], 22)
 }
 
 /// The outcome of one replay.

@@ -1,0 +1,62 @@
+//! `repro matrix` acceptance: a sweep over ≥3 scenarios × 3 backends
+//! emits a stable, schema-tagged `BENCH_scenarios.json` — two runs of
+//! the same matrix are byte-identical.
+//!
+//! The sweep runs through the real supervisor (worker processes,
+//! retries, collation), not an in-process shortcut, so this also
+//! exercises the `matrix-cell` stdin/stdout protocol end to end.
+
+use std::path::PathBuf;
+
+use stepstone_experiments::matrix::{run_matrix, MatrixOptions, SCHEMA};
+use stepstone_scenario::Backend;
+
+fn options() -> MatrixOptions {
+    MatrixOptions {
+        scenarios: vec![
+            "quick-smoke".to_string(),
+            "baseline".to_string(),
+            "deletion-harsh".to_string(),
+        ],
+        backends: Backend::ALL.to_vec(),
+        seeds: vec![1],
+        workers: 4,
+        worker_exe: PathBuf::from(env!("CARGO_BIN_EXE_repro")),
+    }
+}
+
+#[test]
+fn two_runs_of_the_same_matrix_are_byte_identical() {
+    let options = options();
+    let first = run_matrix(&options).expect("first sweep");
+    assert!(first.failures.is_empty(), "failures: {:?}", first.failures);
+    assert_eq!(first.cells.len(), 3 * Backend::ALL.len());
+    let second = run_matrix(&options).expect("second sweep");
+    assert_eq!(first.to_json(), second.to_json());
+    assert!(first.to_json().contains(SCHEMA));
+
+    // Ordering is (scenario, backend, seed) regardless of completion
+    // order across the worker pool.
+    let keys: Vec<(String, &str, u64)> = first
+        .cells
+        .iter()
+        .map(|c| (c.scenario.clone(), c.backend, c.seed))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+
+    // The quick-smoke paper cell matches a direct in-process run of
+    // the same specialised spec: the process boundary adds nothing.
+    let mut spec = stepstone_scenario::preset("quick-smoke").expect("preset");
+    spec.seed = 1;
+    spec.backend = Backend::Paper;
+    let direct = stepstone_experiments::scenario_run::run_spec(&spec, None).expect("direct");
+    let cell = first
+        .cells
+        .iter()
+        .find(|c| c.scenario == "quick-smoke" && c.backend == "paper" && c.seed == 1)
+        .expect("cell present");
+    assert_eq!(cell.digest, spec.digest());
+    assert_eq!(cell.verdict_digest, direct.verdict_digest());
+}

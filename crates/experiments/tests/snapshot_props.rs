@@ -1,0 +1,160 @@
+//! Property tests for the serve snapshot codec:
+//!
+//! 1. **Round-trip** — for every generated table,
+//!    `decode(encode(t)) == t` up to the documented `Running → Queued`
+//!    demotion.
+//! 2. **Never panic** — truncations and bit-flips of valid snapshot
+//!    bytes, and arbitrary byte soup, always produce `Ok`/`Err`, never
+//!    a panic. Whatever *does* decode after a flip carries only valid
+//!    specs (the decoder re-validates through the DSL parser).
+
+use proptest::prelude::*;
+use stepstone_experiments::scenario_run::VerdictLine;
+use stepstone_experiments::serve::session::{Session, SessionStatus, SessionTable, StoredOutcome};
+use stepstone_experiments::serve::snapshot::{decode, encode};
+use stepstone_monitor::TerminalKind;
+use stepstone_scenario::{all_presets, ScenarioSpec};
+
+fn table_strategy() -> impl Strategy<Value = SessionTable> {
+    let session = (
+        (0u8..4, proptest::bool::ANY, 0u32..16, 0usize..6),
+        (
+            proptest::bool::ANY,
+            proptest::collection::vec(0u8..=255, 0..64),
+        ),
+        (
+            proptest::bool::ANY,
+            proptest::collection::vec(0usize..26, 0..24),
+        ),
+        (
+            proptest::bool::ANY,
+            0u64..1 << 40,
+            (0u32..64, 0u32..64, 0u32..64, 0u32..64),
+            proptest::collection::vec((0u64..64, 0u64..64, 1u8..4), 0..12),
+        ),
+    )
+        .prop_map(
+            |(
+                (status, threshold_on, threshold, preset_index),
+                (pcap_on, pcap),
+                (error_on, error_chars),
+                (outcome_on, events, (tp, fp, missed, degraded), verdict_raw),
+            )| {
+                let presets = all_presets();
+                let spec: ScenarioSpec = presets[preset_index % presets.len()].clone();
+                let verdicts: Vec<VerdictLine> = verdict_raw
+                    .into_iter()
+                    .filter_map(|(upstream, flow, kind)| {
+                        Some(VerdictLine {
+                            upstream,
+                            flow,
+                            kind: TerminalKind::from_u8(kind)?,
+                        })
+                    })
+                    .collect();
+                Session {
+                    // Ids are rewritten table-wide below.
+                    id: 0,
+                    spec,
+                    threshold: threshold_on.then_some(threshold),
+                    pcap: pcap_on.then_some(pcap),
+                    status: [
+                        SessionStatus::Queued,
+                        SessionStatus::Running,
+                        SessionStatus::Completed,
+                        SessionStatus::Failed,
+                    ][status as usize],
+                    error: error_on.then(|| {
+                        error_chars
+                            .iter()
+                            .map(|&i| (b'a' + i as u8) as char)
+                            .collect()
+                    }),
+                    outcome: outcome_on.then_some(StoredOutcome {
+                        events,
+                        true_positives: tp,
+                        false_positives: fp,
+                        missed,
+                        degraded,
+                        verdicts,
+                    }),
+                }
+            },
+        );
+    (
+        proptest::collection::vec(session, 0..6),
+        (proptest::bool::ANY, 0u32..16),
+        0u64..1 << 30,
+    )
+        .prop_map(|(mut sessions, (threshold_on, threshold), reloads)| {
+            for (i, s) in sessions.iter_mut().enumerate() {
+                s.id = i as u64 + 1;
+            }
+            SessionTable {
+                next_id: sessions.len() as u64 + 1,
+                threshold: threshold_on.then_some(threshold),
+                reloads,
+                sessions,
+            }
+        })
+}
+
+/// The decoded image of a table: `Running` demoted to `Queued`,
+/// everything else untouched.
+fn expected_after_restore(table: &SessionTable) -> SessionTable {
+    let mut expected = table.clone();
+    for s in &mut expected.sessions {
+        if s.status == SessionStatus::Running {
+            s.status = SessionStatus::Queued;
+        }
+    }
+    expected
+}
+
+proptest! {
+    #[test]
+    fn restore_of_snapshot_is_identity_up_to_running_demotion(table in table_strategy()) {
+        let decoded = decode(&encode(&table)).expect("round-trips");
+        prop_assert_eq!(decoded, expected_after_restore(&table));
+    }
+
+    #[test]
+    fn encode_is_deterministic(table in table_strategy()) {
+        prop_assert_eq!(encode(&table), encode(&table));
+    }
+
+    #[test]
+    fn truncations_never_panic(table in table_strategy(), cut in 0usize..1 << 16) {
+        let bytes = encode(&table);
+        let cut = cut.min(bytes.len());
+        // Anything short of the full file is structurally damaged.
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        table in table_strategy(),
+        index in 0usize..1 << 16,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&table);
+        let index = index % bytes.len();
+        bytes[index] ^= 1 << bit;
+        // A flip may still decode (e.g. inside an error string whose
+        // checksum byte was also what flipped — effectively never, but
+        // the contract is only "no panic, and any Ok is well-formed").
+        if let Ok(decoded) = decode(&bytes) {
+            for s in &decoded.sessions {
+                prop_assert!(s.spec.validate().is_ok());
+                prop_assert!(s.status != SessionStatus::Running);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let _ = decode(&bytes);
+    }
+}

@@ -81,4 +81,4 @@ pub use fault::{DecodeFault, FaultHook};
 pub use ids::{FlowId, PairId, UpstreamId};
 pub use queue::PushError;
 pub use stats::MonitorStats;
-pub use verdict::{DegradeReason, Verdict};
+pub use verdict::{DegradeReason, TerminalKind, Verdict};

@@ -85,6 +85,61 @@ impl fmt::Display for DegradeReason {
     }
 }
 
+/// The timing-independent classification of a pair verdict.
+///
+/// Mid-stream decode *scheduling* depends on thread timing, so the
+/// Hamming distance and decode counts attached to a [`Verdict`] can
+/// differ between runs of the same corpus; which terminal class a pair
+/// lands in does not (the streaming≡batch property tests pin this).
+/// Anything that persists or compares verdicts across runs — session
+/// snapshots, the matrix report — stores this classification, not the
+/// full verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TerminalKind {
+    /// The pair correlated ([`Verdict::Correlated`]).
+    Correlated,
+    /// The pair was cleared ([`Verdict::Cleared`]).
+    Cleared,
+    /// The engine gave up on the pair ([`Verdict::Degraded`]).
+    Degraded,
+}
+
+impl TerminalKind {
+    /// Stable one-byte codec tag, used by the serve snapshot format.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            TerminalKind::Correlated => 1,
+            TerminalKind::Cleared => 2,
+            TerminalKind::Degraded => 3,
+        }
+    }
+
+    /// Inverse of [`to_u8`](Self::to_u8); `None` for unknown tags.
+    pub fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(TerminalKind::Correlated),
+            2 => Some(TerminalKind::Cleared),
+            3 => Some(TerminalKind::Degraded),
+            _ => None,
+        }
+    }
+
+    /// The kind's name as reported on verdict lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TerminalKind::Correlated => "correlated",
+            TerminalKind::Cleared => "cleared",
+            TerminalKind::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for TerminalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 impl Verdict {
     /// The pair the verdict is about, if it is a pair verdict.
     pub fn pair(&self) -> Option<PairId> {
@@ -92,6 +147,16 @@ impl Verdict {
             Verdict::Correlated { pair, .. }
             | Verdict::Cleared { pair, .. }
             | Verdict::Degraded { pair, .. } => Some(pair),
+            Verdict::Evicted { .. } => None,
+        }
+    }
+
+    /// The timing-independent classification, for pair verdicts.
+    pub fn terminal_kind(&self) -> Option<TerminalKind> {
+        match self {
+            Verdict::Correlated { .. } => Some(TerminalKind::Correlated),
+            Verdict::Cleared { .. } => Some(TerminalKind::Cleared),
+            Verdict::Degraded { .. } => Some(TerminalKind::Degraded),
             Verdict::Evicted { .. } => None,
         }
     }

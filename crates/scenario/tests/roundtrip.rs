@@ -1,0 +1,161 @@
+//! Property tests for the scenario DSL, matching the IPC codec's
+//! contract:
+//!
+//! 1. **Canonical round-trip** — for every generated valid spec,
+//!    `parse(canonical(s)) == s`, re-encoding reproduces the canonical
+//!    bytes exactly, and the digest is stable across the loop.
+//! 2. **Never panic** — arbitrary text, truncations of canonical text,
+//!    and single-byte mutations of canonical text always produce
+//!    `Ok`/`Err`, never a panic.
+
+use proptest::prelude::*;
+use stepstone_scenario::{Backend, Chaff, ChaosProfile, Repacketize, ScenarioSpec, Traffic};
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            proptest::collection::vec(0usize..NAME_CHARS.len(), 1..16),
+            0u8..3,
+            1usize..16,
+            0usize..16,
+            1usize..8,
+            1usize..256,
+            1u64..1 << 48,
+            1u64..60_000,
+        ),
+        (
+            (proptest::bool::ANY, 0u64..1_000_000),
+            0u32..900_000,
+            (proptest::bool::ANY, 1u64..60_000),
+            (proptest::bool::ANY, 0u64..1 << 48, 0u8..3),
+            0u8..3,
+        ),
+        (2usize..17, 1usize..5, 1usize..9, 1u64..60_000),
+    )
+        .prop_map(
+            |(
+                (name, traffic, upstreams, decoys, shards, decode_batch, seed, delta_ms),
+                (
+                    (chaff_on, chaff_millis),
+                    loss_ppm,
+                    (repack_on, window),
+                    (chaos_on, chaos_seed, profile),
+                    backend,
+                ),
+                (wm_bits, wm_redundancy, wm_offset, wm_adjustment_ms),
+            )| {
+                let name: String = name.iter().map(|&i| NAME_CHARS[i] as char).collect();
+                let mut spec = ScenarioSpec::base(&name);
+                spec.traffic =
+                    [Traffic::Interactive, Traffic::Tcplib, Traffic::Mixed][traffic as usize];
+                spec.upstreams = upstreams;
+                spec.decoys = decoys;
+                spec.shards = shards;
+                spec.decode_batch = decode_batch;
+                spec.seed = seed;
+                spec.delta_ms = delta_ms;
+                spec.chaff = if chaff_on {
+                    Chaff::PoissonMillis(chaff_millis)
+                } else {
+                    Chaff::None
+                };
+                spec.loss_ppm = loss_ppm;
+                spec.repacketize = if repack_on {
+                    Repacketize::WindowMs(window)
+                } else {
+                    Repacketize::None
+                };
+                spec.chaos = chaos_on.then_some((
+                    chaos_seed,
+                    [
+                        ChaosProfile::Mild,
+                        ChaosProfile::Harsh,
+                        ChaosProfile::Adversarial,
+                    ][profile as usize],
+                ));
+                spec.backend = Backend::ALL[backend as usize];
+                spec.wm_bits = wm_bits;
+                spec.wm_redundancy = wm_redundancy;
+                spec.wm_offset = wm_offset;
+                spec.wm_adjustment_ms = wm_adjustment_ms;
+                spec.wm_threshold = (wm_bits / 2).max(1) as u32;
+                // Size the corpus so the watermark always fits.
+                spec.packets = (wm_bits * 4 * wm_redundancy + wm_offset) * 2 + 64;
+                spec
+            },
+        )
+        .prop_filter("spec validates", |spec| spec.validate().is_ok())
+}
+
+proptest! {
+    #[test]
+    fn canonical_round_trips(spec in spec_strategy()) {
+        let text = spec.canonical();
+        let parsed = ScenarioSpec::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.canonical(), text);
+        prop_assert_eq!(parsed.digest(), spec.digest());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = ScenarioSpec::parse(&text);
+    }
+
+    #[test]
+    fn arbitrary_lines_never_panic(
+        draws in proptest::collection::vec(
+            proptest::collection::vec(0usize..NAME_CHARS.len() + 4, 0..40),
+            0..24,
+        )
+    ) {
+        // Indices past the name alphabet map to the DSL's structural
+        // characters so the sweep actually reaches the parser's
+        // key/value paths, not just the BadLine arm.
+        let lines: Vec<String> = draws
+            .iter()
+            .map(|line| {
+                line.iter()
+                    .map(|&i| match NAME_CHARS.get(i) {
+                        Some(&b) => b as char,
+                        None => [' ', '=', '.', '#'][i - NAME_CHARS.len()],
+                    })
+                    .collect()
+            })
+            .collect();
+        let _ = ScenarioSpec::parse(&lines.join("\n"));
+    }
+
+    #[test]
+    fn truncations_never_panic(spec in spec_strategy(), cut in 0usize..1024) {
+        let text = spec.canonical();
+        let cut = cut.min(text.len());
+        if text.is_char_boundary(cut) {
+            let _ = ScenarioSpec::parse(&text[..cut]);
+        }
+    }
+
+    #[test]
+    fn byte_mutations_never_panic(
+        spec in spec_strategy(),
+        index in 0usize..1024,
+        byte in 0x20u8..0x7f,
+    ) {
+        let mut text = spec.canonical().into_bytes();
+        let index = index % text.len();
+        text[index] = byte;
+        if let Ok(mutated) = String::from_utf8(text) {
+            // Mutated text either fails or yields some valid spec; it
+            // must never alias the original's digest with different
+            // canonical bytes.
+            if let Ok(parsed) = ScenarioSpec::parse(&mutated) {
+                if parsed.digest() == spec.digest() {
+                    prop_assert_eq!(parsed.canonical(), spec.canonical());
+                }
+            }
+        }
+    }
+}

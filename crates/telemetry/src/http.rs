@@ -30,6 +30,78 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// Longest request head (request line + headers) the server reads.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
+/// Longest request body the server accepts (`Content-Length` above
+/// this is refused outright). Sized for a capture upload, not a
+/// metrics scrape.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request, as handed to a [`Routes`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// The path, query string stripped.
+    pub path: String,
+    /// The raw query string after `?`, if any (undecoded).
+    pub query: Option<String>,
+    /// The request body (empty unless `Content-Length` said
+    /// otherwise). Bounded by [`MAX_BODY_BYTES`].
+    pub body: Vec<u8>,
+}
+
+/// A response a [`Routes`] implementation produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text error response with the given status.
+    pub fn error(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+}
+
+/// Application routes layered over the built-in metrics endpoints.
+///
+/// [`handle`](Routes::handle) gets first look at every well-formed
+/// request; returning `None` falls through to the built-ins
+/// (`GET /metrics`, `/healthz`, `/snapshot`) and then 404 (GET) / 400
+/// (anything else). Handlers run on the single serving thread — the
+/// same serialization the scrape endpoints already rely on — so they
+/// must stay quick and push real work onto a queue.
+pub trait Routes: Send + Sync {
+    /// Handles one request, or declines it with `None`.
+    fn handle(&self, request: &Request) -> Option<Response>;
+}
+
 /// A running metrics endpoint. Dropping the handle signals the serving
 /// thread to exit; [`shutdown`](MetricsServer::shutdown) additionally
 /// joins it.
@@ -48,6 +120,29 @@ impl MetricsServer {
     ///
     /// Any socket error from binding or inspecting the listener.
     pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+        Self::bind_inner(addr, registry, None)
+    }
+
+    /// Like [`bind`](Self::bind), with application [`Routes`] layered
+    /// over the built-in endpoints — the seam `repro serve` mounts its
+    /// session API on.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding or inspecting the listener.
+    pub fn bind_with_routes(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        routes: Arc<dyn Routes>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, registry, Some(routes))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        routes: Option<Arc<dyn Routes>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -55,7 +150,7 @@ impl MetricsServer {
         let thread_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("telemetry-http".to_string())
-            .spawn(move || accept_loop(&listener, &registry, &thread_stop))?;
+            .spawn(move || accept_loop(&listener, &registry, routes.as_deref(), &thread_stop))?;
         Ok(MetricsServer {
             addr,
             stop,
@@ -91,11 +186,16 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &Arc<Registry>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Arc<Registry>,
+    routes: Option<&dyn Routes>,
+    stop: &Arc<AtomicBool>,
+) {
     // ordering: shutdown flag poll; no memory is transferred.
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => handle_connection(stream, registry),
+            Ok((stream, _)) => handle_connection(stream, registry, routes),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
             }
@@ -106,7 +206,7 @@ fn accept_loop(listener: &TcpListener, registry: &Arc<Registry>, stop: &Arc<Atom
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Arc<Registry>) {
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, routes: Option<&dyn Routes>) {
     // The accepted socket inherits the listener's non-blocking flag on
     // some platforms; force blocking-with-timeout semantics.
     if stream.set_nonblocking(false).is_err() {
@@ -118,7 +218,7 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>) {
         return;
     }
     let mut stream = stream;
-    let Some(path) = read_request_path(&mut stream) else {
+    let Some(request) = read_request(&mut stream) else {
         respond(
             &mut stream,
             400,
@@ -127,7 +227,28 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>) {
         );
         return;
     };
-    match path.as_str() {
+    if let Some(routes) = routes {
+        if let Some(response) = routes.handle(&request) {
+            respond(
+                &mut stream,
+                response.status,
+                &response.content_type,
+                &response.body,
+            );
+            return;
+        }
+    }
+    if request.method != "GET" {
+        // No application route claimed it; the built-ins are GET-only.
+        respond(
+            &mut stream,
+            400,
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        return;
+    }
+    match request.path.as_str() {
         "/metrics" => {
             let body = registry.render_prometheus();
             respond(
@@ -146,25 +267,15 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>) {
     }
 }
 
-/// Reads the request head (bounded) and returns the path of a `GET`
-/// request line, `None` for anything unreadable or non-GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Reads one bounded request — head, then exactly `Content-Length`
+/// body bytes — and parses it. `None` for anything unreadable,
+/// oversized, or structurally not HTTP.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        // A full head already? Only the request line matters; headers
-        // are read (and discarded) just to drain the socket politely.
-        if let Some(head_end) = find_head_end(&buf) {
-            let head = std::str::from_utf8(&buf[..head_end]).ok()?;
-            let mut parts = head.lines().next()?.split_whitespace();
-            let method = parts.next()?;
-            let path = parts.next()?;
-            if method != "GET" {
-                return None;
-            }
-            // Ignore any query string.
-            let path = path.split('?').next().unwrap_or(path);
-            return Some(path.to_string());
+    let mut chunk = [0u8; 4096];
+    let (head_len, body_start) = loop {
+        if let Some(found) = find_head_end(&buf) {
+            break found;
         }
         if buf.len() >= MAX_REQUEST_BYTES {
             return None;
@@ -174,21 +285,73 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return None,
         }
+    };
+    let head = std::str::from_utf8(&buf[..head_len]).ok()?.to_string();
+    let mut lines = head.lines();
+    let mut parts = lines.next()?.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
     }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    if body.len() > content_length {
+        // More bytes than declared: pipelined or junk. Refuse rather
+        // than guess at framing.
+        return None;
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    Some(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").or_else(|| {
-        // Be liberal: bare-LF clients (netcat, hand-typed requests).
-        buf.windows(2).position(|w| w == b"\n\n")
-    })
+/// Finds the end of the request head: `(head_len, body_start)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| (i, i + 4))
+        .or_else(|| {
+            // Be liberal: bare-LF clients (netcat, hand-typed requests).
+            buf.windows(2)
+                .position(|w| w == b"\n\n")
+                .map(|i| (i, i + 2))
+        })
 }
 
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
     let reason = match status {
         200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
-        _ => "Not Found",
+        404 => "Not Found",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        500 => "Internal Server Error",
+        _ => "Status",
     };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
@@ -284,6 +447,103 @@ mod tests {
         // The endpoint keeps serving after a bad client.
         let (status, _, _) = get(addr, "/healthz");
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    struct EchoRoutes;
+
+    impl Routes for EchoRoutes {
+        fn handle(&self, request: &Request) -> Option<Response> {
+            match (request.method.as_str(), request.path.as_str()) {
+                ("POST", "/echo") => Some(Response::ok(format!(
+                    "q={} n={} body={}",
+                    request.query.as_deref().unwrap_or("-"),
+                    request.body.len(),
+                    String::from_utf8_lossy(&request.body),
+                ))),
+                ("GET", "/metrics") => Some(Response::error(409, "shadowed\n")),
+                _ => None,
+            }
+        }
+    }
+
+    fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {target} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn routes_get_first_look_and_fall_through() {
+        let registry = Arc::new(Registry::new());
+        let server =
+            MetricsServer::bind_with_routes("127.0.0.1:0", registry, Arc::new(EchoRoutes)).unwrap();
+        let addr = server.local_addr();
+
+        // POST with a body reaches the route, query and all.
+        let (status, body) = post(addr, "/echo?tag=a", "hello");
+        assert_eq!(status, 200);
+        assert_eq!(body, "q=tag=a n=5 body=hello");
+
+        // A route can shadow a built-in.
+        let (status, _, body) = get(addr, "/metrics");
+        assert_eq!(status, 409);
+        assert_eq!(body, "shadowed\n");
+
+        // Unclaimed paths still fall through to the built-ins.
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        // Unclaimed POSTs stay a 400, same as the bare server.
+        let (status, _) = post(addr, "/healthz", "");
+        assert_eq!(status, 400);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_content_length_is_refused() {
+        let registry = Arc::new(Registry::new());
+        let server =
+            MetricsServer::bind_with_routes("127.0.0.1:0", registry, Arc::new(EchoRoutes)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("400"), "{response}");
         server.shutdown();
     }
 }

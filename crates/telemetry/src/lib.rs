@@ -53,7 +53,7 @@ mod registry;
 mod trace;
 
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
-pub use http::MetricsServer;
+pub use http::{MetricsServer, Request, Response, Routes, MAX_BODY_BYTES};
 pub use metrics::{Counter, Gauge};
 pub use registry::Registry;
 pub use trace::{saturating_micros, SpanEvent, SpanGuard, SpanLog, Timer};

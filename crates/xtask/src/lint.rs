@@ -11,7 +11,7 @@
 //! | `bounded_queue` | no unbounded channels in `monitor`; `#[bounded]`-tagged queues grow only through their choke-point method |
 //! | `heartbeat_touch` | every `loop` in a `monitor` worker function refreshes the shard heartbeat at the top of each iteration |
 //! | `forbid_unsafe` | every crate root declares `#![forbid(unsafe_code)]` |
-//! | `bounded_ipc` | the `cluster` IPC layer never allocates or reads unboundedly from wire input: no unbounded channels, no `read_to_end`-style reads, every `with_capacity` carries a `.min(..)`/`MAX_*` cap witness |
+//! | `bounded_ipc` | boundary-input code (`cluster` IPC, the `scenario` DSL, the `experiments` serve layer) never allocates or reads unboundedly from outside input: no unbounded channels, no `read_to_end`-style reads, every `with_capacity` carries a `.min(..)`/`MAX_*` cap witness |
 //!
 //! A finding on line `L` is suppressed by a comment on `L` or `L-1` of
 //! the form `// lint: allow(<rule>) <reason>` — the reason is
@@ -99,12 +99,22 @@ pub fn run_rule(
         "heartbeat_touch" if class.crate_dir == "monitor" && class.rel_path.contains("/src/") => {
             rule_heartbeat_touch(class, lexed, test_mask, findings)
         }
-        "bounded_ipc" if class.crate_dir == "cluster" && class.rel_path.contains("/src/") => {
+        "bounded_ipc" if bounded_ipc_scope(class) => {
             rule_bounded_ipc(class, lexed, test_mask, findings)
         }
         "forbid_unsafe" if class.is_crate_root => rule_forbid_unsafe(class, lexed, findings),
         _ => {}
     }
+}
+
+/// Library files whose inputs cross a process or trust boundary and so
+/// fall under [`rule_bounded_ipc`]: the `cluster` IPC layer (worker
+/// stdout frames), the `scenario` crate (DSL text from files and HTTP
+/// bodies), and the `experiments` serve layer (HTTP request bodies,
+/// snapshot files, session channels).
+fn bounded_ipc_scope(class: &FileClass) -> bool {
+    (matches!(class.crate_dir.as_str(), "cluster" | "scenario") && class.rel_path.contains("/src/"))
+        || class.rel_path.starts_with("crates/experiments/src/serve")
 }
 
 /// `true` when a `// lint: allow(<rule>) <reason>` comment with a
@@ -614,10 +624,13 @@ fn rule_bounded_queue(
     }
 }
 
-/// The IPC layer decodes frames from another process's stdout — input
-/// that must be treated as hostile (a corrupted or wedged worker must
-/// not take the coordinator with it). Three unboundedness vectors are
-/// forbidden in `crates/cluster`: unbounded `mpsc::channel` (a dead
+/// Boundary-input code decodes bytes that originate outside the
+/// process — worker stdout frames in `crates/cluster`, DSL text and
+/// HTTP bodies in `crates/scenario`, request bodies and snapshot files
+/// in the `experiments` serve layer — and must treat them as hostile
+/// (a corrupted or wedged peer must not take the host with it). Three
+/// unboundedness vectors are forbidden in that scope (see
+/// [`bounded_ipc_scope`]): unbounded `mpsc::channel` (a dead
 /// coordinator loop lets a reader thread buffer without limit),
 /// `read_to_end`/`read_to_string` (a stuck peer pins memory until the
 /// pipe closes, which may be never), and `with_capacity` calls whose
@@ -641,7 +654,7 @@ fn rule_bounded_ipc(class: &FileClass, lexed: &Lexed, mask: &[bool], findings: &
                     "bounded_ipc",
                     class,
                     toks[i].line,
-                    "unbounded `mpsc::channel` in the cluster IPC layer; use a bounded \
+                    "unbounded `mpsc::channel` in boundary-input code; use a bounded \
                      `sync_channel` or justify with `// lint: allow(bounded_ipc) <reason>`"
                         .to_string(),
                 );
@@ -976,6 +989,37 @@ mod tests {
         assert!(lint_file(&cluster_class(), src).is_empty());
         let src = "fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n";
         assert!(lint_file(&monitor_class(), src).is_empty());
+    }
+
+    #[test]
+    fn bounded_ipc_covers_scenario_and_serve_sources() {
+        let src = "fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n";
+        for (rel_path, crate_dir) in [
+            ("crates/scenario/src/spec.rs", "scenario"),
+            ("crates/experiments/src/serve/mod.rs", "experiments"),
+            ("crates/experiments/src/serve/snapshot.rs", "experiments"),
+        ] {
+            let class = FileClass {
+                rel_path: rel_path.to_string(),
+                crate_dir: crate_dir.to_string(),
+                is_library: true,
+                is_crate_root: false,
+            };
+            assert_eq!(
+                rules_of(&lint_file(&class, src)),
+                vec!["bounded_ipc"],
+                "{rel_path} must be in scope"
+            );
+        }
+        // The rest of `experiments` (one-shot CLI paths reading local
+        // files the operator named) stays out of scope.
+        let class = FileClass {
+            rel_path: "crates/experiments/src/matrix.rs".to_string(),
+            crate_dir: "experiments".to_string(),
+            is_library: true,
+            is_crate_root: false,
+        };
+        assert!(lint_file(&class, src).is_empty());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! End-to-end check of the acceptance criterion: the lint binary must
 //! exit non-zero when a seeded violation of each of the seven rules is
-//! introduced, report each of them, and emit parseable JSON.
+//! introduced (eight seeded cases — `bounded_ipc` is seeded in both
+//! the `cluster` crate and the newer `scenario`/serve scope), report
+//! each of them, and emit parseable JSON.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -62,8 +64,9 @@ fn clean_workspace_exits_zero() {
 
 #[test]
 fn each_seeded_rule_violation_fails_the_lint() {
-    // One violation per rule, each on a known line.
-    let cases: [(&str, &str, &str); 7] = [
+    // One violation per rule, each on a known line; bounded_ipc is
+    // seeded once per scope it covers.
+    let cases: [(&str, &str, &str); 8] = [
         (
             "no_panic",
             "crates/a/src/lib.rs",
@@ -99,9 +102,18 @@ fn each_seeded_rule_violation_fails_the_lint() {
             "crates/cluster/src/extra.rs",
             "pub fn f(len: u32) -> Vec<u8> { Vec::with_capacity(len as usize) }\n",
         ),
+        (
+            "bounded_ipc",
+            "crates/scenario/src/extra.rs",
+            "pub fn f(r: &mut impl Read) -> Vec<u8> {\n\
+             \x20   let mut b = Vec::new();\n\
+             \x20   r.read_to_end(&mut b);\n\
+             \x20   b\n\
+             }\n",
+        ),
     ];
-    for (rule, path, src) in cases {
-        let fx = Fixture::new(&format!("seed-{rule}"));
+    for (i, (rule, path, src)) in cases.into_iter().enumerate() {
+        let fx = Fixture::new(&format!("seed-{i}-{rule}"));
         fx.write("crates/good/src/lib.rs", CLEAN_LIB);
         fx.write("crates/monitor/src/lib.rs", "#![forbid(unsafe_code)]\n");
         fx.write(path, src);
