@@ -45,9 +45,14 @@ impl Transform for Repacketizer {
             match merged.last_mut() {
                 Some(head) if p.timestamp() - head.timestamp() <= self.window => {
                     // Coalesce into the head packet; size accumulates.
+                    // Clamped to 1: merging zero-size records must not
+                    // synthesise a zero-length packet mid-window — no
+                    // coalescing stack emits an empty segment, and a
+                    // zero-length record breaks size-quantum matching
+                    // downstream.
                     *head = Packet::with_provenance(
                         head.timestamp(),
-                        head.size().saturating_add(p.size()),
+                        head.size().saturating_add(p.size()).max(1),
                         head.provenance(),
                     );
                 }

@@ -1,0 +1,67 @@
+//! Regression tests for the re-packetizer's merged-record invariants.
+//!
+//! The mid-window coalescing path once produced a zero-length merged
+//! record when every packet in the window had size zero; a coalescing
+//! stack never emits an empty segment, and a zero-length record breaks
+//! size-quantum matching downstream. The merge now clamps to one byte.
+
+use rand_chacha::ChaCha8Rng;
+use stepstone_adversary::{AdversaryPipeline, Repacketizer, Transform};
+use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
+use stepstone_traffic::Seed;
+
+fn rng() -> ChaCha8Rng {
+    Seed::new(1).rng(0)
+}
+
+/// Two zero-size packets inside one merge window must coalesce into a
+/// record of at least one byte — never a zero-length packet.
+#[test]
+fn merging_zero_size_packets_never_yields_a_zero_length_record() {
+    let flow = Flow::from_packets([
+        Packet::new(Timestamp::ZERO, 0),
+        Packet::new(Timestamp::from_millis(10), 0),
+        Packet::new(Timestamp::from_millis(20), 0),
+    ])
+    .unwrap();
+    let out = Repacketizer::new(TimeDelta::from_millis(50)).apply_with(&flow, &mut rng());
+    assert_eq!(out.len(), 1, "the burst coalesces");
+    assert!(
+        out[0].size() >= 1,
+        "merged record must not be zero-length: {:?}",
+        out[0]
+    );
+}
+
+/// The clamp only rescues the degenerate all-zero case; real sizes
+/// still sum exactly.
+#[test]
+fn nonzero_merges_still_sum_sizes_exactly() {
+    let flow = Flow::from_packets([
+        Packet::new(Timestamp::ZERO, 100),
+        Packet::new(Timestamp::from_millis(10), 0),
+        Packet::new(Timestamp::from_millis(20), 28),
+    ])
+    .unwrap();
+    let out = Repacketizer::new(TimeDelta::from_millis(50)).apply_with(&flow, &mut rng());
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].size(), 128);
+}
+
+/// The clamp holds through the full pipeline too: a repacketizing
+/// pipeline over a flow with zero-size records yields no zero-length
+/// packets anywhere.
+#[test]
+fn pipeline_output_has_no_zero_length_records() {
+    let flow = Flow::from_packets(
+        (0..200).map(|i| Packet::new(Timestamp::from_millis(i * 7), (i % 3 == 0) as u32 * 64)),
+    )
+    .unwrap();
+    let out = AdversaryPipeline::new()
+        .then(Repacketizer::new(TimeDelta::from_millis(25)))
+        .apply(&flow, Seed::new(9));
+    assert!(out.len() < flow.len(), "something merged");
+    for p in &out {
+        assert!(p.size() >= 1, "zero-length record leaked: {p:?}");
+    }
+}

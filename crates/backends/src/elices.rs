@@ -40,7 +40,9 @@
 
 use stepstone_flow::{Flow, TimeDelta};
 
-use crate::matchstats::{order_consistent_stats, MatchStats};
+use crate::matchstats::{order_consistent_stats, robust_order_consistent_stats, MatchStats};
+use crate::mode::{DecodeMode, DecodeOptions};
+use crate::outcome::RobustOutcome;
 use crate::{BackendKind, Correlation, CorrelatorBackend};
 
 /// Floor for time quantities entering logarithms, in seconds.
@@ -59,6 +61,7 @@ pub struct ElicesConfig {
     margin_nats: f64,
     threshold_nats: f64,
     min_observable: usize,
+    decode: DecodeOptions,
 }
 
 impl ElicesConfig {
@@ -78,7 +81,16 @@ impl ElicesConfig {
             margin_nats: 1.0,
             threshold_nats: 0.0,
             min_observable: 8,
+            decode: DecodeOptions::strict(),
         }
+    }
+
+    /// Selects the decode mode (strict or robust) and, for the robust
+    /// mode, the per-window erasure budget.
+    #[must_use]
+    pub const fn with_decode(mut self, decode: DecodeOptions) -> Self {
+        self.decode = decode;
+        self
     }
 
     /// Declares the known chaff rate `λc` (packets/second). When
@@ -133,6 +145,11 @@ impl ElicesConfig {
     pub const fn chaff_rate(&self) -> f64 {
         self.chaff_rate
     }
+
+    /// The decode-layer configuration.
+    pub const fn decode_options(&self) -> DecodeOptions {
+        self.decode
+    }
 }
 
 /// The likelihood-ratio detector bound to one upstream flow.
@@ -164,8 +181,24 @@ impl ElicesBackend {
     ///
     /// [`decode`]: CorrelatorBackend::decode
     pub fn log_likelihood_ratio(&self, suspicious: &Flow) -> (f64, MatchStats) {
-        let stats = order_consistent_stats(&self.upstream, suspicious, self.config.delta);
+        let stats = self.sweep(suspicious);
         (self.llr_nats(&stats), stats)
+    }
+
+    /// The configured matching sweep: strict, or the budget-absorbing
+    /// robust variant.
+    fn sweep(&self, suspicious: &Flow) -> MatchStats {
+        match self.config.decode.mode {
+            DecodeMode::Strict => {
+                order_consistent_stats(&self.upstream, suspicious, self.config.delta)
+            }
+            DecodeMode::Robust => robust_order_consistent_stats(
+                &self.upstream,
+                suspicious,
+                self.config.delta,
+                self.config.decode.erasure_budget,
+            ),
+        }
     }
 
     /// The decision threshold [`decode`](CorrelatorBackend::decode)
@@ -221,8 +254,12 @@ impl CorrelatorBackend for ElicesBackend {
         &self.upstream
     }
 
+    fn decode_options(&self) -> DecodeOptions {
+        self.config.decode
+    }
+
     fn decode(&self, suspicious: &Flow) -> Correlation {
-        let stats = order_consistent_stats(&self.upstream, suspicious, self.config.delta);
+        let stats = self.sweep(suspicious);
         let correlated = stats.observable >= self.config.min_observable.max(1)
             && self.llr_nats(&stats) >= self.threshold_nats(&stats);
         Correlation {
@@ -232,6 +269,11 @@ impl CorrelatorBackend for ElicesBackend {
             cost: stats.accesses,
             matching_cost: stats.accesses,
             completed: true,
+            robust: self
+                .config
+                .decode
+                .is_robust()
+                .then(|| RobustOutcome::from_match_stats(&stats)),
         }
     }
 }
@@ -312,6 +354,51 @@ mod tests {
             &up,
         );
         assert!(backend.decode(&down).correlated);
+    }
+
+    #[test]
+    fn robust_decode_recovers_a_deleted_copy_and_flags_blown_budgets() {
+        let up = regular_flow(60, 1.0, 0.0);
+        // A 400ms-delayed copy with every 10th packet deleted.
+        let times: Vec<f64> = (0..60)
+            .filter(|i| i % 10 != 3)
+            .map(|i| i as f64 + 0.4)
+            .collect();
+        let down = seconds_flow(&times);
+        let delta = TimeDelta::from_secs(1);
+        let strict = ElicesBackend::bind(ElicesConfig::new(delta), &up);
+        let robust = ElicesBackend::bind(
+            ElicesConfig::new(delta).with_decode(DecodeOptions::robust(8)),
+            &up,
+        );
+        let strict_out = strict.decode(&down);
+        assert_eq!(strict_out.robust, None);
+        let robust_out = robust.decode(&down);
+        assert!(robust_out.correlated, "{robust_out}");
+        let r = robust_out.robust.expect("robust accounting");
+        assert!(r.erasures > 0);
+        assert!(!r.budget_blown);
+        assert!(r.confidence_pct >= 90);
+        // A one-erasure budget can't absorb the deletions: the budget
+        // is flagged blown.
+        let starved = ElicesBackend::bind(
+            ElicesConfig::new(delta).with_decode(DecodeOptions::robust(1)),
+            &up,
+        );
+        let starved_out = starved.decode(&down);
+        assert!(starved_out.robust.expect("robust accounting").budget_blown);
+    }
+
+    #[test]
+    fn robust_decode_still_clears_an_unrelated_flow() {
+        let up = regular_flow(60, 1.0, 0.0);
+        let decoy = regular_flow(60, 1.07, 0.5);
+        let backend = ElicesBackend::bind(
+            ElicesConfig::new(TimeDelta::from_millis(300)).with_decode(DecodeOptions::robust(4)),
+            &up,
+        );
+        let outcome = backend.decode(&decoy);
+        assert!(!outcome.correlated, "{outcome}");
     }
 
     #[test]

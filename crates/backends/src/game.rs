@@ -26,7 +26,9 @@
 
 use stepstone_flow::{Flow, TimeDelta};
 
-use crate::matchstats::{order_consistent_stats, MatchStats};
+use crate::matchstats::{order_consistent_stats, robust_order_consistent_stats, MatchStats};
+use crate::mode::{DecodeMode, DecodeOptions};
+use crate::outcome::RobustOutcome;
 use crate::{BackendKind, Correlation, CorrelatorBackend};
 
 /// Floor for time quantities entering the chance-match model, in
@@ -40,6 +42,7 @@ pub struct GameConfig {
     confidence: f64,
     coverage_cap: f64,
     min_observable: usize,
+    decode: DecodeOptions,
 }
 
 impl GameConfig {
@@ -57,7 +60,16 @@ impl GameConfig {
             confidence: 4.0,
             coverage_cap: 0.995,
             min_observable: 16,
+            decode: DecodeOptions::strict(),
         }
+    }
+
+    /// Selects the decode mode (strict or robust) and, for the robust
+    /// mode, the per-window erasure budget.
+    #[must_use]
+    pub const fn with_decode(mut self, decode: DecodeOptions) -> Self {
+        self.decode = decode;
+        self
     }
 
     /// Overrides how many chance-coverage standard deviations the
@@ -87,6 +99,11 @@ impl GameConfig {
     /// The maximum delay `Δ`.
     pub const fn delta(&self) -> TimeDelta {
         self.delta
+    }
+
+    /// The decode-layer configuration.
+    pub const fn decode_options(&self) -> DecodeOptions {
+        self.decode
     }
 }
 
@@ -137,8 +154,22 @@ impl CorrelatorBackend for GameBackend {
         &self.upstream
     }
 
+    fn decode_options(&self) -> DecodeOptions {
+        self.config.decode
+    }
+
     fn decode(&self, suspicious: &Flow) -> Correlation {
-        let stats = order_consistent_stats(&self.upstream, suspicious, self.config.delta);
+        let stats = match self.config.decode.mode {
+            DecodeMode::Strict => {
+                order_consistent_stats(&self.upstream, suspicious, self.config.delta)
+            }
+            DecodeMode::Robust => robust_order_consistent_stats(
+                &self.upstream,
+                suspicious,
+                self.config.delta,
+                self.config.decode.erasure_budget,
+            ),
+        };
         let correlated = stats.observable >= self.config.min_observable.max(1)
             && self
                 .coverage_threshold(&stats)
@@ -150,6 +181,11 @@ impl CorrelatorBackend for GameBackend {
             cost: stats.accesses,
             matching_cost: stats.accesses,
             completed: true,
+            robust: self
+                .config
+                .decode
+                .is_robust()
+                .then(|| RobustOutcome::from_match_stats(&stats)),
         }
     }
 }
@@ -181,6 +217,42 @@ mod tests {
         let decoy = regular_flow(80, 1.07, 0.5);
         let backend = GameBackend::bind(GameConfig::new(TimeDelta::from_millis(300)), &up);
         assert!(!backend.decode(&decoy).correlated);
+    }
+
+    #[test]
+    fn robust_decode_recovers_a_deleted_copy() {
+        let up = regular_flow(60, 1.0, 0.0);
+        // A 400ms-delayed copy with every 10th packet deleted.
+        let down = Flow::from_timestamps(
+            (0..60)
+                .filter(|i| i % 10 != 3)
+                .map(|i| Timestamp::from_micros(i * 1_000_000 + 400_000)),
+        )
+        .unwrap();
+        let delta = TimeDelta::from_secs(1);
+        let strict = GameBackend::bind(GameConfig::new(delta), &up);
+        assert_eq!(strict.decode(&down).robust, None);
+        let robust = GameBackend::bind(
+            GameConfig::new(delta).with_decode(DecodeOptions::robust(8)),
+            &up,
+        );
+        let outcome = robust.decode(&down);
+        assert!(outcome.correlated, "{outcome}");
+        let r = outcome.robust.expect("robust accounting");
+        assert!(r.erasures > 0 && !r.budget_blown, "{r:?}");
+    }
+
+    #[test]
+    fn robust_decode_still_clears_an_unrelated_flow() {
+        let up = regular_flow(80, 1.0, 0.0);
+        let decoy = regular_flow(80, 1.07, 0.5);
+        let backend = GameBackend::bind(
+            GameConfig::new(TimeDelta::from_millis(300)).with_decode(DecodeOptions::robust(4)),
+            &up,
+        );
+        let outcome = backend.decode(&decoy);
+        assert!(!outcome.correlated, "{outcome}");
+        assert!(outcome.robust.expect("robust accounting").budget_blown);
     }
 
     #[test]

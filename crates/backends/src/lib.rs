@@ -34,14 +34,16 @@ mod elices;
 mod game;
 mod kind;
 mod matchstats;
+mod mode;
 mod outcome;
 mod stream;
 
 pub use elices::{ElicesBackend, ElicesConfig};
 pub use game::{GameBackend, GameConfig};
 pub use kind::{BackendKind, UnknownBackend};
-pub use matchstats::{order_consistent_stats, MatchStats};
-pub use outcome::Correlation;
+pub use matchstats::{order_consistent_stats, robust_order_consistent_stats, MatchStats};
+pub use mode::{DecodeMode, DecodeOptions, UnknownDecodeMode};
+pub use outcome::{Correlation, RobustOutcome};
 pub use stream::StreamState;
 
 use stepstone_flow::Flow;
@@ -55,6 +57,21 @@ pub trait CorrelatorBackend: Send + Sync {
     /// Which backend this is (stable name for CLI flags, metric labels
     /// and cluster specs).
     fn kind(&self) -> BackendKind;
+
+    /// The decode configuration this backend instance runs with
+    /// (strict, zero budget, unless the implementation was configured
+    /// robust). The monitor reads the erasure budget back from here to
+    /// relax its minimum-window gate: under deletions a downstream flow
+    /// can be legitimately *shorter* than its upstream.
+    fn decode_options(&self) -> DecodeOptions {
+        DecodeOptions::strict()
+    }
+
+    /// Which decode mode this backend instance runs. Labels the
+    /// per-mode decode-latency metric family.
+    fn decode_mode(&self) -> DecodeMode {
+        self.decode_options().mode
+    }
 
     /// The upstream flow this backend is bound to, as observed on the
     /// wire. The monitor sizes decode windows from its length.

@@ -26,6 +26,11 @@ pub struct MatchStats {
     pub observable: usize,
     /// Observable upstream packets left unmatched.
     pub misses: usize,
+    /// Misses reclassified as deletion erasures by the robust sweep
+    /// ([`robust_order_consistent_stats`]); always 0 under the strict
+    /// sweep. Erased packets are excluded from both `observable` and
+    /// `misses`, so `coverage` reads over the surviving packets only.
+    pub erasures: usize,
     /// Packets in the suspicious window.
     pub suspicious_total: usize,
     /// The suspicious window's observed time span in seconds.
@@ -102,6 +107,37 @@ pub fn order_consistent_stats(upstream: &Flow, suspicious: &Flow, delta: TimeDel
             stats.misses += 1;
         }
     }
+    stats
+}
+
+/// The deletion-tolerant variant of [`order_consistent_stats`]: up to
+/// `erasure_budget` observable misses are reclassified as erasures —
+/// deleted packets charged to the lossy channel rather than held
+/// against the downstream hypothesis.
+///
+/// The budget is what keeps the relaxation honest. A true relayed pair
+/// on a lossy channel shows a *small* number of misses (one per deleted
+/// packet), all absorbed by a budget sized to the expected loss; its
+/// coverage over the surviving packets returns to ~1. An unrelated
+/// flow misses *most* of its windows — far past any sane budget — so
+/// after absorbing `erasure_budget` of them its coverage stays low and
+/// every detector still rejects it. Blanket reclassification (no
+/// budget) would hand decoys coverage 1 and destroy the false-positive
+/// floor; see the `budget_bounds_decoy_absorption` test.
+///
+/// Never panics; inherits the strict sweep's tolerance of empty flows
+/// and degenerate spans.
+pub fn robust_order_consistent_stats(
+    upstream: &Flow,
+    suspicious: &Flow,
+    delta: TimeDelta,
+    erasure_budget: u32,
+) -> MatchStats {
+    let mut stats = order_consistent_stats(upstream, suspicious, delta);
+    let absorbed = stats.misses.min(erasure_budget as usize);
+    stats.erasures = absorbed;
+    stats.misses -= absorbed;
+    stats.observable -= absorbed;
     stats
 }
 
@@ -185,6 +221,49 @@ mod tests {
         let down = flow(&[150_000]);
         let s = order_consistent_stats(&up, &down, TimeDelta::from_secs(1));
         assert_eq!(s.matched, 1);
+    }
+
+    #[test]
+    fn robust_sweep_absorbs_deletion_misses_within_budget() {
+        let up = flow(&[0, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 6_000_000]);
+        // A 300ms-delayed copy with packets 1 and 3 deleted.
+        let down = flow(&[300_000, 2_300_000, 4_300_000, 6_300_000]);
+        let delta = TimeDelta::from_secs(1);
+        let strict = order_consistent_stats(&up, &down, delta);
+        assert_eq!(strict.erasures, 0);
+        assert_eq!(strict.misses, 2);
+        assert!(strict.coverage() < 1.0);
+        let robust = robust_order_consistent_stats(&up, &down, delta, 4);
+        assert_eq!(robust.erasures, 2);
+        assert_eq!(robust.misses, 0);
+        assert_eq!(robust.coverage(), 1.0, "{robust:?}");
+        assert_eq!(robust.matched, strict.matched);
+        assert_eq!(robust.observable, strict.observable - 2);
+    }
+
+    #[test]
+    fn budget_bounds_decoy_absorption() {
+        let up = flow(&[0, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000]);
+        // Every window observable, every window missed.
+        let down = flow(&[-500_000, 6_900_000]);
+        let delta = TimeDelta::from_millis(500);
+        let strict = order_consistent_stats(&up, &down, delta);
+        assert_eq!(strict.misses, 6);
+        let robust = robust_order_consistent_stats(&up, &down, delta, 2);
+        assert_eq!(robust.erasures, 2);
+        assert_eq!(robust.misses, 4, "misses past the budget survive");
+        assert!(robust.coverage() < 0.5, "{robust:?}");
+    }
+
+    #[test]
+    fn zero_budget_robust_sweep_equals_strict() {
+        let up = flow(&[0, 1_000_000, 2_500_000, 4_000_000]);
+        let down = flow(&[300_000, 2_800_000]);
+        let delta = TimeDelta::from_secs(1);
+        assert_eq!(
+            robust_order_consistent_stats(&up, &down, delta, 0),
+            order_consistent_stats(&up, &down, delta)
+        );
     }
 
     #[test]

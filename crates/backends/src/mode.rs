@@ -1,0 +1,163 @@
+//! Decode-mode identities: strict (the paper's assumption-1 decoder)
+//! versus robust (deletion-tolerant), orthogonal to the backend choice.
+
+use serde::{Deserialize, Serialize};
+
+/// How a backend treats observable upstream packets with no downstream
+/// counterpart.
+///
+/// The name returned by [`name`](DecodeMode::name) is a stable
+/// identifier: `repro monitor --decode <name>` selects it, `/metrics`
+/// labels per-mode series with it, and the scenario DSL carries it in
+/// canonical spec text (`decode = <name>`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeMode {
+    /// The paper's §2 assumption-1 decoder: every marked packet must
+    /// have a counterpart; an empty matching set aborts the decode.
+    #[default]
+    Strict,
+    /// The deletion-tolerant decoder: an unserved marked packet is
+    /// charged as an *erasure* (up to the configured budget) instead of
+    /// aborting, and the decision statistic runs over what remains.
+    Robust,
+}
+
+impl DecodeMode {
+    /// Every mode, in display order. Metric registration and the
+    /// loss-sweep experiment iterate this, so a new mode shows up
+    /// everywhere by extending this list.
+    pub const ALL: [DecodeMode; 2] = [DecodeMode::Strict, DecodeMode::Robust];
+
+    /// The stable lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DecodeMode::Strict => "strict",
+            DecodeMode::Robust => "robust",
+        }
+    }
+
+    /// A dense index into per-mode tables (`0..ALL.len()`).
+    pub const fn index(self) -> usize {
+        match self {
+            DecodeMode::Strict => 0,
+            DecodeMode::Robust => 1,
+        }
+    }
+
+    /// Parses a stable name back into a mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownDecodeMode`] (whose message lists the valid
+    /// names) when `name` matches no mode.
+    pub fn parse(name: &str) -> Result<Self, UnknownDecodeMode> {
+        DecodeMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| UnknownDecodeMode {
+                input: name.to_string(),
+            })
+    }
+}
+
+impl std::fmt::Display for DecodeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A decode-mode name that parsed to nothing; its display lists the
+/// valid names so a CLI can reject `--decode typo` helpfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDecodeMode {
+    /// The name that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownDecodeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown decode mode {:?} (valid: ", self.input)?;
+        for (i, mode) in DecodeMode::ALL.into_iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(mode.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownDecodeMode {}
+
+/// The decode-layer configuration every backend accepts: which mode to
+/// run and, for the robust mode, how many erasures a window may absorb
+/// before the outcome is flagged over budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeOptions {
+    /// Strict or robust decoding.
+    pub mode: DecodeMode,
+    /// Erasures the robust decoder absorbs per decode window before
+    /// marking the outcome over budget. Ignored in strict mode.
+    pub erasure_budget: u32,
+}
+
+impl DecodeOptions {
+    /// The strict decoder (the default everywhere).
+    pub const fn strict() -> Self {
+        DecodeOptions {
+            mode: DecodeMode::Strict,
+            erasure_budget: 0,
+        }
+    }
+
+    /// The robust decoder with the given erasure budget.
+    pub const fn robust(erasure_budget: u32) -> Self {
+        DecodeOptions {
+            mode: DecodeMode::Robust,
+            erasure_budget,
+        }
+    }
+
+    /// `true` for the robust mode.
+    pub const fn is_robust(&self) -> bool {
+        matches!(self.mode, DecodeMode::Robust)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for mode in DecodeMode::ALL {
+            assert_eq!(DecodeMode::parse(mode.name()), Ok(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        for (i, mode) in DecodeMode::ALL.into_iter().enumerate() {
+            assert_eq!(mode.index(), i);
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_the_valid_ones() {
+        let err = DecodeMode::parse("bogus").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"bogus\""), "{msg}");
+        for mode in DecodeMode::ALL {
+            assert!(msg.contains(mode.name()), "{msg}");
+        }
+    }
+
+    #[test]
+    fn default_is_strict() {
+        assert_eq!(DecodeMode::default(), DecodeMode::Strict);
+        assert_eq!(DecodeOptions::default(), DecodeOptions::strict());
+        assert!(!DecodeOptions::default().is_robust());
+        assert!(DecodeOptions::robust(8).is_robust());
+    }
+}

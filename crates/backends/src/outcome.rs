@@ -3,6 +3,43 @@
 use serde::{Deserialize, Serialize};
 use stepstone_watermark::Watermark;
 
+/// What the robust decode layer adds to a [`Correlation`]: how much of
+/// the evidence was erased and how confident the decision that remains
+/// is. `None` on every strict decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustOutcome {
+    /// Erasures charged in this decode window (deleted-packet slots
+    /// absorbed instead of aborting or counting as misses).
+    pub erasures: u32,
+    /// `true` when the window needed more erasures than the configured
+    /// budget allowed: the evidence is too damaged for a clean negative,
+    /// and the monitor reports `Degraded` instead of `Cleared` for a
+    /// pair that ends in this state.
+    pub budget_blown: bool,
+    /// How much of the decision statistic survived the erasures, as a
+    /// percentage in `0..=100` (decided watermark bits for the paper
+    /// backend, surviving-window coverage for the passive ones).
+    pub confidence_pct: u8,
+}
+
+impl RobustOutcome {
+    /// Robust accounting read off a [`MatchStats`] from the
+    /// budget-absorbing sweep
+    /// ([`robust_order_consistent_stats`][crate::robust_order_consistent_stats]):
+    /// erasures are the absorbed misses, the budget is blown when any
+    /// miss survived absorption (the window demanded more erasures than
+    /// the budget covered), and confidence is the surviving-window
+    /// coverage as a percentage.
+    pub fn from_match_stats(stats: &crate::MatchStats) -> Self {
+        let pct = (stats.coverage() * 100.0).round().clamp(0.0, 100.0) as u8;
+        RobustOutcome {
+            erasures: stats.erasures.min(u32::MAX as usize) as u32,
+            budget_blown: stats.misses > 0,
+            confidence_pct: pct,
+        }
+    }
+}
+
 /// The outcome of correlating one suspicious flow against one
 /// watched upstream flow.
 ///
@@ -38,6 +75,8 @@ pub struct Correlation {
     /// `false` when a bounded search (Optimal/Brute Force) hit its cost
     /// bound before finishing.
     pub completed: bool,
+    /// Robust-decode accounting; `None` for every strict decode.
+    pub robust: Option<RobustOutcome>,
 }
 
 impl Correlation {
@@ -51,6 +90,7 @@ impl Correlation {
             cost,
             completed: true,
             matching_cost,
+            robust: None,
         }
     }
 }
@@ -68,7 +108,7 @@ impl std::fmt::Display for Correlation {
                 },
                 self.cost,
                 if self.completed { "" } else { ", bound hit" }
-            ),
+            )?,
             None => write!(
                 f,
                 "{} (no watermark, {} accesses)",
@@ -78,8 +118,18 @@ impl std::fmt::Display for Correlation {
                     "not correlated"
                 },
                 self.cost
-            ),
+            )?,
         }
+        if let Some(r) = &self.robust {
+            write!(
+                f,
+                " [{} erasures, {}% confidence{}]",
+                r.erasures,
+                r.confidence_pct,
+                if r.budget_blown { ", over budget" } else { "" }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -106,8 +156,39 @@ mod tests {
             cost: 10,
             matching_cost: 4,
             completed: false,
+            robust: None,
         };
         assert!(c.to_string().contains("bound hit"));
+    }
+
+    #[test]
+    fn robust_outcome_renders_erasure_accounting() {
+        let c = Correlation {
+            correlated: true,
+            hamming: Some(1),
+            best: None,
+            cost: 10,
+            matching_cost: 4,
+            completed: true,
+            robust: Some(RobustOutcome {
+                erasures: 3,
+                budget_blown: false,
+                confidence_pct: 87,
+            }),
+        };
+        let s = c.to_string();
+        assert!(s.contains("3 erasures"), "{s}");
+        assert!(s.contains("87% confidence"), "{s}");
+        assert!(!s.contains("over budget"), "{s}");
+        let blown = Correlation {
+            robust: Some(RobustOutcome {
+                erasures: 9,
+                budget_blown: true,
+                confidence_pct: 40,
+            }),
+            ..c
+        };
+        assert!(blown.to_string().contains("over budget"));
     }
 
     #[test]
@@ -119,6 +200,7 @@ mod tests {
             cost: 7,
             matching_cost: 7,
             completed: true,
+            robust: None,
         };
         let s = c.to_string();
         assert!(s.starts_with("correlated"), "{s}");

@@ -83,6 +83,7 @@ mod tests {
             cost: 7,
             matching_cost: 7,
             completed: true,
+            robust: None,
         };
         state.record(&positive, 6);
         assert_eq!(state.decodes(), 2);

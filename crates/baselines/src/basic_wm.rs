@@ -84,6 +84,7 @@ impl BasicWatermarkDetector {
                     cost: self.decode_cost(),
                     matching_cost: 0,
                     completed: true,
+                    robust: None,
                 }
             }
             Err(_) => Correlation {
@@ -93,6 +94,7 @@ impl BasicWatermarkDetector {
                 cost: 0,
                 matching_cost: 0,
                 completed: true,
+                robust: None,
             },
         }
     }

@@ -20,6 +20,8 @@
 //!            | 0x01 up:u64 flow:u64 (0x00 | 0x01 hamming:u32) decodes:u32
 //!            | 0x02 flow:u64 idle_micros:i64
 //!            | 0x03 up:u64 flow:u64 reason:u8
+//!              (reason 3 = erasure budget, followed by
+//!               erasures:u32 confidence:u8)
 //! WireStats  = 17 × u64 (see [`WireStats`] field order)
 //! ```
 //!
@@ -335,11 +337,19 @@ fn encode_verdict(v: &Verdict, out: &mut Vec<u8>) {
             out.push(3);
             out.extend_from_slice(&pair.upstream.0.to_le_bytes());
             out.extend_from_slice(&pair.flow.0.to_le_bytes());
-            out.push(match reason {
-                DegradeReason::WorkerLost => 0,
-                DegradeReason::Stalled => 1,
-                DegradeReason::Shed => 2,
-            });
+            match reason {
+                DegradeReason::WorkerLost => out.push(0),
+                DegradeReason::Stalled => out.push(1),
+                DegradeReason::Shed => out.push(2),
+                DegradeReason::ErasureBudget {
+                    erasures,
+                    confidence,
+                } => {
+                    out.push(3);
+                    out.extend_from_slice(&erasures.to_le_bytes());
+                    out.push(confidence);
+                }
+            }
         }
     }
 }
@@ -378,6 +388,10 @@ fn decode_verdict(c: &mut Cursor<'_>) -> Result<Verdict, WireError> {
                 0 => DegradeReason::WorkerLost,
                 1 => DegradeReason::Stalled,
                 2 => DegradeReason::Shed,
+                3 => DegradeReason::ErasureBudget {
+                    erasures: c.u32()?,
+                    confidence: c.u8()?,
+                },
                 _ => return Err(WireError::BadPayload("bad degrade reason")),
             };
             Ok(Verdict::Degraded { pair: p, reason })
@@ -673,6 +687,13 @@ mod tests {
                 Verdict::Degraded {
                     pair,
                     reason: DegradeReason::WorkerLost,
+                },
+                Verdict::Degraded {
+                    pair,
+                    reason: DegradeReason::ErasureBudget {
+                        erasures: 77,
+                        confidence: 62,
+                    },
                 },
             ]),
             Message::Shutdown,

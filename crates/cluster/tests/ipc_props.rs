@@ -95,10 +95,14 @@ fn verdict_strategy() -> impl Strategy<Value = Verdict> {
                 },
                 _ => Verdict::Degraded {
                     pair,
-                    reason: match small % 3 {
+                    reason: match small % 4 {
                         0 => DegradeReason::WorkerLost,
                         1 => DegradeReason::Stalled,
-                        _ => DegradeReason::Shed,
+                        2 => DegradeReason::Shed,
+                        _ => DegradeReason::ErasureBudget {
+                            erasures: small,
+                            confidence: (small % 101) as u8,
+                        },
                     },
                 },
             }

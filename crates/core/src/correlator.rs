@@ -2,11 +2,11 @@
 //! [`BoundCorrelator`] seam the online monitor decodes through.
 
 use stepstone_backends::{
-    BackendKind, CorrelatorBackend, ElicesBackend, ElicesConfig, GameBackend, GameConfig,
-    StreamState,
+    BackendKind, CorrelatorBackend, DecodeMode, DecodeOptions, ElicesBackend, ElicesConfig,
+    GameBackend, GameConfig, RobustOutcome, StreamState,
 };
 use stepstone_flow::{Flow, TimeDelta};
-use stepstone_matching::{CostMeter, Matcher, MatchingSets};
+use stepstone_matching::{CostMeter, GappedSets, Matcher, MatchingSets};
 use stepstone_watermark::{IpdWatermarker, Watermark, WatermarkError};
 
 use crate::brute::run_brute_force;
@@ -15,6 +15,7 @@ use crate::greedy::run_greedy;
 use crate::greedy_plus::{decode_selection, improve, repair_order};
 use crate::optimal::{exhaustive_search, free_mask_for};
 use crate::outcome::{Algorithm, Correlation};
+use crate::robust::decode_gapped;
 
 /// How widely the Greedy+ phase-1 simplification prunes matching sets
 /// (an ablation knob; see the `ablation_tightening` bench).
@@ -44,6 +45,7 @@ pub struct WatermarkCorrelator {
     algorithm: Algorithm,
     size_quantum: Option<u32>,
     phase1_scope: Phase1Scope,
+    decode: DecodeOptions,
 }
 
 impl WatermarkCorrelator {
@@ -75,6 +77,7 @@ impl WatermarkCorrelator {
             algorithm,
             size_quantum: None,
             phase1_scope: Phase1Scope::default(),
+            decode: DecodeOptions::strict(),
         }
     }
 
@@ -83,6 +86,20 @@ impl WatermarkCorrelator {
     pub fn with_phase1_scope(mut self, scope: Phase1Scope) -> Self {
         self.phase1_scope = scope;
         self
+    }
+
+    /// Selects the decode mode: strict (the paper's assumption-1
+    /// decoder, the default) or robust (deletion-tolerant, with the
+    /// given per-window erasure budget).
+    #[must_use]
+    pub const fn with_decode(mut self, decode: DecodeOptions) -> Self {
+        self.decode = decode;
+        self
+    }
+
+    /// The decode-layer configuration.
+    pub const fn decode_options(&self) -> DecodeOptions {
+        self.decode
     }
 
     /// Enables the quantized-packet-size matching constraint (§3.2).
@@ -176,14 +193,47 @@ impl WatermarkCorrelator {
         original: &Flow,
         marked: &Flow,
     ) -> Result<BoundCorrelator, WatermarkError> {
+        self.bind_backend_with(kind, self.decode, chaff_rate, original, marked)
+    }
+
+    /// [`bind_backend`](Self::bind_backend) with an explicit decode
+    /// mode: the strict/robust choice and erasure budget are pushed
+    /// into every backend's configuration, so all three backends
+    /// upgrade (or stay strict) together.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`prepare`](Self::prepare).
+    pub fn bind_backend_with(
+        &self,
+        kind: BackendKind,
+        decode: DecodeOptions,
+        chaff_rate: f64,
+        original: &Flow,
+        marked: &Flow,
+    ) -> Result<BoundCorrelator, WatermarkError> {
         match kind {
-            BackendKind::Paper => self.bind(original, marked),
+            BackendKind::Paper => {
+                let cfg = self.clone().with_decode(decode);
+                let plan = cfg.plan_for(original, marked)?;
+                Ok(BoundCorrelator::Paper(PaperBackend {
+                    cfg,
+                    upstream: marked.clone(),
+                    plan,
+                }))
+            }
             BackendKind::Elices => Ok(ElicesBackend::bind(
-                ElicesConfig::new(self.delta).with_chaff_rate(chaff_rate),
+                ElicesConfig::new(self.delta)
+                    .with_chaff_rate(chaff_rate)
+                    .with_decode(decode),
                 marked,
             )
             .into()),
-            BackendKind::Game => Ok(GameBackend::bind(GameConfig::new(self.delta), marked).into()),
+            BackendKind::Game => Ok(GameBackend::bind(
+                GameConfig::new(self.delta).with_decode(decode),
+                marked,
+            )
+            .into()),
         }
     }
 
@@ -270,6 +320,10 @@ impl CorrelatorBackend for PaperBackend {
         BackendKind::Paper
     }
 
+    fn decode_options(&self) -> DecodeOptions {
+        self.cfg.decode
+    }
+
     fn upstream(&self) -> &Flow {
         &self.upstream
     }
@@ -304,6 +358,16 @@ impl BoundCorrelator {
     /// Which backend decodes for this correlator.
     pub fn backend(&self) -> BackendKind {
         self.as_backend().kind()
+    }
+
+    /// Which decode mode (strict or robust) this correlator runs.
+    pub fn decode_mode(&self) -> DecodeMode {
+        self.as_backend().decode_mode()
+    }
+
+    /// The full decode configuration, budget included.
+    pub fn decode_options(&self) -> DecodeOptions {
+        self.as_backend().decode_options()
     }
 
     /// The paper correlator configuration, when this is the paper arm.
@@ -369,6 +433,9 @@ struct Engine<'a> {
 
 impl Engine<'_> {
     fn correlate(&self, suspicious: &Flow) -> Correlation {
+        if self.cfg.decode.is_robust() {
+            return self.correlate_robust(suspicious);
+        }
         let cfg = self.cfg;
         let threshold = cfg.marker.params().threshold;
         let wanted = &cfg.watermark;
@@ -401,6 +468,7 @@ impl Engine<'_> {
                     cost: meter.count() - matching_cost,
                     matching_cost,
                     completed: true,
+                    robust: None,
                 }
             }
             Algorithm::GreedyPlus => {
@@ -427,6 +495,7 @@ impl Engine<'_> {
                     cost: meter.count(),
                     matching_cost,
                     completed: true,
+                    robust: None,
                 }
             }
             Algorithm::Optimal { cost_bound } => {
@@ -447,6 +516,7 @@ impl Engine<'_> {
                         cost: meter.count(),
                         matching_cost,
                         completed: true,
+                        robust: None,
                     };
                 }
                 let free = free_mask_for(self.plan, &state, wanted, &fixable);
@@ -462,6 +532,7 @@ impl Engine<'_> {
                     cost: meter.count(),
                     matching_cost,
                     completed: r.completed,
+                    robust: None,
                 }
             }
             Algorithm::BruteForce { cost_bound } => {
@@ -479,8 +550,72 @@ impl Engine<'_> {
                     cost: meter.count(),
                     matching_cost,
                     completed: r.completed,
+                    robust: None,
                 }
             }
+        }
+    }
+
+    /// The deletion-robust decode (`--decode robust`): gap-tolerant
+    /// matching charges erasures instead of aborting, the tolerant
+    /// tightening propagates order constraints across the gaps, and the
+    /// greedy sign rule reads a [`stepstone_watermark::SoftWatermark`]
+    /// whose erased bits are excluded from the Hamming comparison.
+    ///
+    /// The decision is deliberately conservative on damaged evidence:
+    ///
+    /// - the detection threshold is scaled down to the decided bits
+    ///   (`⌊threshold · decided / bits⌋`), so a half-erased watermark
+    ///   does not inherit the full-length error allowance;
+    /// - at least half the bits must survive;
+    /// - a window whose erasure demand exceeds the budget never
+    ///   correlates — it is flagged `budget_blown`, and the monitor
+    ///   reports such pairs `Degraded` instead of `Cleared`.
+    ///
+    /// The configured [`Algorithm`] only keeps its cost convention here
+    /// (Greedy is not billed for matching); the selection rule is
+    /// always Greedy's, whose Hamming distance lower-bounds every
+    /// order-respecting algorithm's — the safe direction when deciding
+    /// against a threshold.
+    fn correlate_robust(&self, suspicious: &Flow) -> Correlation {
+        let cfg = self.cfg;
+        let threshold = cfg.marker.params().threshold;
+        let wanted = &cfg.watermark;
+        let mut meter = CostMeter::new();
+        let mut matcher = Matcher::new(cfg.delta);
+        if let Some(q) = cfg.size_quantum {
+            matcher = matcher.with_size_quantum(q);
+        }
+        let mut sets = GappedSets::compute(&matcher, self.upstream, suspicious, &mut meter);
+        let _ = sets.tighten(&mut meter);
+        let matching_cost = meter.count();
+        let g = decode_gapped(self.plan, &sets, suspicious, &mut meter);
+        let budget_blown = g.slot_erasures > cfg.decode.erasure_budget as usize;
+        let bits = self.plan.bits;
+        let decided = g.soft.decided();
+        let hamming = g.soft.hamming_to(wanted);
+        let scaled_threshold = (threshold as usize * decided)
+            .checked_div(bits)
+            .unwrap_or(0) as u32;
+        let correlated =
+            !budget_blown && bits > 0 && decided * 2 >= bits && hamming <= scaled_threshold;
+        let cost = if matches!(cfg.algorithm, Algorithm::Greedy) {
+            meter.count() - matching_cost
+        } else {
+            meter.count()
+        };
+        Correlation {
+            correlated,
+            hamming: (decided > 0).then_some(hamming),
+            best: (decided > 0).then(|| g.soft.to_watermark(false)),
+            cost,
+            matching_cost,
+            completed: true,
+            robust: Some(RobustOutcome {
+                erasures: g.slot_erasures.min(u32::MAX as usize) as u32,
+                budget_blown,
+                confidence_pct: g.soft.confidence_pct(),
+            }),
         }
     }
 
@@ -520,6 +655,7 @@ impl Engine<'_> {
                 cost: meter.count(),
                 matching_cost,
                 completed: true,
+                robust: None,
             });
         }
         let fixable: Vec<bool> = (0..self.plan.bits)

@@ -58,6 +58,7 @@ mod greedy;
 mod greedy_plus;
 mod optimal;
 mod outcome;
+mod robust;
 
 pub use correlator::{
     BoundCorrelator, PaperBackend, Phase1Scope, PreparedCorrelator, WatermarkCorrelator,
@@ -66,6 +67,6 @@ pub use outcome::{Algorithm, Correlation};
 // The backend seam, re-exported so monitor-layer crates need only one
 // `stepstone_core` import to select, bind and label backends.
 pub use stepstone_backends::{
-    BackendKind, CorrelatorBackend, ElicesBackend, ElicesConfig, GameBackend, GameConfig,
-    StreamState, UnknownBackend,
+    BackendKind, CorrelatorBackend, DecodeMode, DecodeOptions, ElicesBackend, ElicesConfig,
+    GameBackend, GameConfig, RobustOutcome, StreamState, UnknownBackend, UnknownDecodeMode,
 };

@@ -1,6 +1,8 @@
 //! End-to-end pipeline tests: generate → watermark → attack → correlate.
 
-use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
+use stepstone_adversary::{
+    AdversaryPipeline, ChaffInjector, ChaffModel, PacketLoss, UniformPerturbation,
+};
 use stepstone_core::{Algorithm, Correlation, WatermarkCorrelator};
 use stepstone_flow::{Flow, TimeDelta, Timestamp};
 use stepstone_traffic::{InteractiveProfile, Seed, SessionGenerator};
@@ -234,4 +236,84 @@ fn size_quantum_constraint_shrinks_cost_without_losing_detection() {
         out_plain.cost
     );
     let _ = out_plain.correlated; // plain may or may not detect; not asserted here
+}
+
+/// An attacked downstream flow that ALSO drops packets — the assumption-1
+/// violation the robust decode is for.
+fn lossy_attack(marked: &Flow, delta_s: i64, chaff_rate: f64, loss: f64, seed: u64) -> Flow {
+    AdversaryPipeline::new()
+        .then(UniformPerturbation::new(TimeDelta::from_secs(delta_s)))
+        .then(PacketLoss::new(loss))
+        .then(ChaffInjector::new(ChaffModel::Poisson { rate: chaff_rate }))
+        .apply(marked, Seed::new(seed))
+}
+
+#[test]
+fn robust_decode_detects_deleted_copies_that_strict_mode_aborts_on() {
+    let mut strict_detections = 0u32;
+    for seed in 0..4 {
+        let b = bench(200 + seed, 1000);
+        // Sparse chaff: a deleted packet's Δ-window is often genuinely
+        // empty, so deletions surface as erasures instead of being
+        // papered over by chaff candidates.
+        let suspicious = lossy_attack(&b.marked, 5, 0.3, 0.05, seed);
+        let strict = WatermarkCorrelator::new(
+            b.marker,
+            b.watermark.clone(),
+            TimeDelta::from_secs(5),
+            Algorithm::GreedyPlus,
+        );
+        let robust = strict
+            .clone()
+            .with_decode(stepstone_core::DecodeOptions::robust(120));
+        let out_strict = strict
+            .prepare(&b.original, &b.marked)
+            .unwrap()
+            .correlate(&suspicious);
+        if out_strict.correlated {
+            strict_detections += 1;
+        }
+        assert_eq!(out_strict.robust, None, "strict never reports erasures");
+        let out = robust
+            .prepare(&b.original, &b.marked)
+            .unwrap()
+            .correlate(&suspicious);
+        assert!(out.correlated, "seed {seed}: {out} (expected detection)");
+        let r = out.robust.expect("robust decode reports its outcome");
+        assert!(r.erasures > 0, "5% loss must show up as erasures");
+        assert!(!r.budget_blown, "true pair stays within budget: {r:?}");
+        assert!(r.confidence_pct >= 50, "confidence {}", r.confidence_pct);
+    }
+    // At 5% loss the strict decoder aborts on the first unmatched
+    // upstream packet; if it somehow detected every seed there would be
+    // nothing for the robust mode to fix.
+    assert!(
+        strict_detections < 4,
+        "strict survived all seeds; loss model broken?"
+    );
+}
+
+#[test]
+fn robust_decode_keeps_rejecting_unrelated_flows() {
+    let b = bench(300, 1000);
+    for seed in 0..6 {
+        let other = interactive(1000, 900 + seed);
+        let suspicious = lossy_attack(&other, 5, 2.0, 0.05, seed);
+        let robust = WatermarkCorrelator::new(
+            b.marker,
+            b.watermark.clone(),
+            TimeDelta::from_secs(5),
+            Algorithm::GreedyPlus,
+        )
+        .with_decode(stepstone_core::DecodeOptions::robust(120));
+        let out = robust
+            .prepare(&b.original, &b.marked)
+            .unwrap()
+            .correlate(&suspicious);
+        assert!(!out.correlated, "seed {seed}: false positive {out}");
+        let r = out.robust.expect("robust decode reports its outcome");
+        // An unrelated flow demands far more erasures than any sane
+        // budget; the blown budget is what holds the FP floor.
+        assert!(r.budget_blown, "decoy must exhaust the budget: {r:?}");
+    }
 }

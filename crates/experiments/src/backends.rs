@@ -77,6 +77,7 @@ fn mild_scenario(cfg: &ExperimentConfig) -> LiveScenario {
         chaff: 0.5,
         params: WatermarkParams::small(),
         backend: BackendKind::Paper,
+        decode: stepstone_core::DecodeOptions::strict(),
     }
 }
 

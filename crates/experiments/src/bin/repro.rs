@@ -11,8 +11,10 @@
 #![forbid(unsafe_code)]
 //!
 //! The `monitor` target additionally honours `--pairs N`, `--decoys N`,
-//! `--shards N` and `--packets N` to size the online replay, and
-//! `--backend paper|elices|game` to pick the correlator backend.
+//! `--shards N` and `--packets N` to size the online replay,
+//! `--backend paper|elices|game` to pick the correlator backend, and
+//! `--decode strict|robust` (with `--erasure-budget N`) to pick the
+//! decode layer.
 
 use std::env;
 use std::fs;
@@ -21,9 +23,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stepstone_chaos::FaultPlan;
-use stepstone_core::{BackendKind, UnknownBackend};
+use stepstone_core::{BackendKind, DecodeMode, DecodeOptions, UnknownBackend, UnknownDecodeMode};
 use stepstone_experiments::{
-    ablations, backends, cluster, diagnostics, figures, live, matrix, scenario_run, serve,
+    ablations, backends, cluster, diagnostics, figures, live, matrix, robust, scenario_run, serve,
     ExperimentConfig, Scale,
 };
 use stepstone_ingest::ReplayClock;
@@ -37,9 +39,9 @@ use stepstone_traffic::Seed;
 /// honest but incomplete.
 const EXIT_STREAM_ERROR: u8 = 3;
 
-/// Exit code for an unrecognised `--backend` name. Distinct from the
-/// generic usage error so scripts sweeping backends can tell a typo
-/// from a broken invocation.
+/// Exit code for an unrecognised `--backend` or `--decode` name.
+/// Distinct from the generic usage error so scripts sweeping backends
+/// or decode modes can tell a typo from a broken invocation.
 const EXIT_UNKNOWN_BACKEND: u8 = 4;
 
 /// Exit code for a scenario that does not parse or validate (a DSL
@@ -53,13 +55,14 @@ const EXIT_BAD_SNAPSHOT: u8 = 6;
 
 /// A CLI failure: a generic usage/runtime error (exit 1, with the
 /// usage text), or one of the typed conditions scripts branch on —
-/// unknown `--backend` (exit [`EXIT_UNKNOWN_BACKEND`]), bad scenario
-/// (exit [`EXIT_BAD_SCENARIO`]), bad snapshot (exit
+/// unknown `--backend` or `--decode` (exit [`EXIT_UNKNOWN_BACKEND`]),
+/// bad scenario (exit [`EXIT_BAD_SCENARIO`]), bad snapshot (exit
 /// [`EXIT_BAD_SNAPSHOT`]) — which print just their message (the usage
 /// dump would bury it).
 enum CliError {
     Usage(String),
     UnknownBackend(UnknownBackend),
+    UnknownDecode(UnknownDecodeMode),
     Scenario(String),
     Snapshot(String),
 }
@@ -79,6 +82,12 @@ impl From<&str> for CliError {
 impl From<UnknownBackend> for CliError {
     fn from(err: UnknownBackend) -> Self {
         CliError::UnknownBackend(err)
+    }
+}
+
+impl From<UnknownDecodeMode> for CliError {
+    fn from(err: UnknownDecodeMode) -> Self {
+        CliError::UnknownDecode(err)
     }
 }
 
@@ -123,6 +132,10 @@ fn main() -> ExitCode {
             eprintln!("repro: {err}");
             ExitCode::from(EXIT_UNKNOWN_BACKEND)
         }
+        Err(CliError::UnknownDecode(err)) => {
+            eprintln!("repro: {err}");
+            ExitCode::from(EXIT_UNKNOWN_BACKEND)
+        }
         Err(CliError::Scenario(msg)) => {
             eprintln!("repro: {msg}");
             ExitCode::from(EXIT_BAD_SCENARIO)
@@ -142,15 +155,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--chart]
              [--pairs N] [--decoys N] [--shards N] [--packets N]
              [--backend paper|elices|game]
+             [--decode strict|robust] [--erasure-budget N]
              [--pcap FILE] [--replay fast|real|xN] [--cluster N]
              [--chaos SEED[:mild|harsh|adversarial]]
              [--metrics-addr HOST:PORT]
              [--scenario NAME|FILE.scn] [--addr HOST:PORT] [--snapshot FILE]
              [--scenarios A,B,..] [--backends A,B,..] [--seeds N,M,..]
              [--workers N] <target>...
-targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor backends pcap-export\n         scenarios scenario serve matrix all
+targets: table1 fig3..fig10 figures synthetic summary future-loss future-repack\n         extension-hops ablations diagnostics monitor backends pcap-export\n         scenarios scenario serve matrix robust-sweep all
 exit codes: 0 ok, 1 usage/runtime error, 3 stream error / failed matrix cells,
-            4 unknown --backend, 5 bad scenario, 6 bad snapshot";
+            4 unknown --backend/--decode, 5 bad scenario, 6 bad snapshot";
 
 struct Options {
     cfg: ExperimentConfig,
@@ -164,6 +178,10 @@ struct Options {
     packets: Option<usize>,
     /// Correlator backend every upstream registers with.
     backend: BackendKind,
+    /// Decode layer every bound correlator runs; `None` keeps each
+    /// target's default (strict for `monitor`, the spec's own
+    /// `decode =` key for `scenario`).
+    decode: Option<DecodeOptions>,
     /// `monitor` reads this capture instead of an in-memory stream.
     pcap: Option<PathBuf>,
     /// Pacing for `--pcap` replay.
@@ -202,6 +220,8 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
     let mut shards = None;
     let mut packets = None;
     let mut backend = BackendKind::default();
+    let mut decode_mode: Option<DecodeMode> = None;
+    let mut erasure_budget: u32 = 64;
     let mut pcap = None;
     let mut replay = ReplayClock::Fast;
     let mut chaos = None;
@@ -250,6 +270,16 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a name")?;
                 backend = BackendKind::parse(v)?;
+            }
+            "--decode" => {
+                let v = it.next().ok_or("--decode needs a mode name")?;
+                decode_mode = Some(DecodeMode::parse(v)?);
+            }
+            "--erasure-budget" => {
+                let v = it.next().ok_or("--erasure-budget needs a count")?;
+                erasure_budget = v
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --erasure-budget: {e}"))?;
             }
             "--pcap" => {
                 pcap = Some(PathBuf::from(it.next().ok_or("--pcap needs a file")?));
@@ -339,6 +369,10 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
         shards,
         packets,
         backend,
+        decode: decode_mode.map(|mode| match mode {
+            DecodeMode::Strict => DecodeOptions::strict(),
+            DecodeMode::Robust => DecodeOptions::robust(erasure_budget),
+        }),
         pcap,
         replay,
         chaos,
@@ -542,7 +576,18 @@ fn dispatch(target: &str, opts: &Options) -> Result<u8, CliError> {
                 .scenario
                 .as_deref()
                 .ok_or("the scenario target needs --scenario NAME|FILE.scn")?;
-            let spec = matrix::resolve_scenario(name).map_err(CliError::Scenario)?;
+            let mut spec = matrix::resolve_scenario(name).map_err(CliError::Scenario)?;
+            if let Some(decode) = opts.decode {
+                // The CLI decode layer overrides the spec's own key,
+                // exactly as --backend style overrides do elsewhere.
+                spec.decode = match decode.mode {
+                    DecodeMode::Strict => stepstone_scenario::Decode::Strict,
+                    DecodeMode::Robust => stepstone_scenario::Decode::Robust,
+                };
+                if decode.is_robust() {
+                    spec.erasure_budget = decode.erasure_budget;
+                }
+            }
             eprintln!("scenario {} digest {:016x}", spec.name, spec.digest());
             let outcome = match &opts.pcap {
                 Some(path) => {
@@ -603,6 +648,16 @@ fn dispatch(target: &str, opts: &Options) -> Result<u8, CliError> {
                 return Ok(EXIT_STREAM_ERROR);
             }
         }
+        "robust-sweep" => {
+            let report = robust::run_sweep().map_err(|e| format!("robust-sweep: {e}"))?;
+            print!("{report}");
+            if let Some(dir) = &opts.out {
+                let path = dir.join("BENCH_robust.json");
+                fs::write(&path, report.to_json())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+        }
         "all" => {
             print!("{}", figures::table1(cfg));
             for f in figures::all(cfg) {
@@ -644,7 +699,9 @@ fn apply_overrides(
     if let Some(n) = opts.packets {
         scenario.packets = n;
     }
-    Ok(scenario.with_backend(opts.backend))
+    Ok(scenario
+        .with_backend(opts.backend)
+        .with_decode(opts.decode.unwrap_or_default()))
 }
 
 fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {

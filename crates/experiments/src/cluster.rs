@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use stepstone_chaos::{FaultPlan, Profile};
 use stepstone_cluster::{serve, Cluster, ClusterConfig, ClusterStats, WireStats, WorkerSummary};
-use stepstone_core::BackendKind;
+use stepstone_core::{BackendKind, DecodeMode, DecodeOptions};
 use stepstone_flow::TimeDelta;
 use stepstone_ingest::{parse_capture, CaptureRecord, FlowDemux, IngestError, ReplayClock};
 use stepstone_monitor::{FlowId, Verdict};
@@ -61,6 +61,8 @@ pub fn encode_spec(scenario: &LiveScenario, chaos: Option<&FaultPlan>) -> Vec<u8
     );
     kv("threshold", scenario.params.threshold as u64);
     kv("backend", scenario.backend.index() as u64);
+    kv("decode_mode", scenario.decode.mode.index() as u64);
+    kv("erasure_budget", u64::from(scenario.decode.erasure_budget));
     if let Some(plan) = chaos {
         kv("chaos_seed", plan.seed());
         let profile = match plan.profile() {
@@ -107,6 +109,22 @@ pub fn decode_spec(bytes: &[u8]) -> Result<(LiveScenario, Option<FaultPlan>), St
             Some(index) => *BackendKind::ALL
                 .get(index as usize)
                 .ok_or_else(|| format!("spec has unknown backend index {index}"))?,
+        },
+        // Same forward-compatibility contract as `backend`: specs from
+        // coordinators predating the decode layer imply strict.
+        decode: match get("decode_mode") {
+            None => DecodeOptions::strict(),
+            Some(index) => {
+                let mode = *DecodeMode::ALL
+                    .get(index as usize)
+                    .ok_or_else(|| format!("spec has unknown decode mode index {index}"))?;
+                match mode {
+                    DecodeMode::Strict => DecodeOptions::strict(),
+                    DecodeMode::Robust => {
+                        DecodeOptions::robust(get("erasure_budget").unwrap_or(0) as u32)
+                    }
+                }
+            }
         },
     };
     let chaos = match (get("chaos_seed"), get("chaos_profile")) {
@@ -501,6 +519,42 @@ mod tests {
             assert_eq!(decoded.backend, kind);
             assert_eq!(decoded, scenario);
         }
+    }
+
+    #[test]
+    fn spec_round_trips_robust_decode() {
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick))
+            .with_decode(DecodeOptions::robust(96));
+        let spec = encode_spec(&scenario, None);
+        let (decoded, _) = decode_spec(&spec).unwrap();
+        assert_eq!(decoded.decode, DecodeOptions::robust(96));
+        assert_eq!(decoded, scenario);
+    }
+
+    #[test]
+    fn spec_without_decode_keys_defaults_to_strict() {
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let stripped: Vec<u8> = String::from_utf8(encode_spec(&scenario, None))
+            .unwrap()
+            .lines()
+            .filter(|line| {
+                !line.starts_with("decode_mode=") && !line.starts_with("erasure_budget=")
+            })
+            .flat_map(|line| format!("{line}\n").into_bytes())
+            .collect();
+        let (decoded, _) = decode_spec(&stripped).unwrap();
+        assert_eq!(decoded.decode, DecodeOptions::strict());
+    }
+
+    #[test]
+    fn spec_with_unknown_decode_index_is_rejected() {
+        let scenario = LiveScenario::wire(&ExperimentConfig::new(Scale::Quick));
+        let spec = String::from_utf8(encode_spec(&scenario, None))
+            .unwrap()
+            .replace("decode_mode=0", "decode_mode=7")
+            .into_bytes();
+        let err = decode_spec(&spec).unwrap_err();
+        assert!(err.contains("unknown decode mode index 7"), "{err}");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod diagnostics;
 pub mod figures;
 pub mod live;
 pub mod matrix;
+pub mod robust;
 mod runner;
 pub mod scenario_run;
 mod schemes;

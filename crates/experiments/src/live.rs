@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use stepstone_adversary::{AdversaryPipeline, ChaffInjector, ChaffModel, UniformPerturbation};
 use stepstone_chaos::FaultPlan;
-use stepstone_core::{Algorithm, BackendKind, BoundCorrelator, WatermarkCorrelator};
+use stepstone_core::{Algorithm, BackendKind, BoundCorrelator, DecodeOptions, WatermarkCorrelator};
 use stepstone_flow::{Flow, Packet, TimeDelta, Timestamp};
 use stepstone_ingest::{
     parse_capture, replay_capture, replay_records_with, write_flows, FiveTuple, IngestError,
@@ -54,6 +54,9 @@ pub struct LiveScenario {
     pub params: WatermarkParams,
     /// Which correlator backend every upstream registers with.
     pub backend: BackendKind,
+    /// How every bound correlator decodes: the paper's strict
+    /// abort-on-empty rule, or the erasure-tolerant robust mode.
+    pub decode: DecodeOptions,
 }
 
 impl LiveScenario {
@@ -79,6 +82,7 @@ impl LiveScenario {
             chaff: cfg.fixed_chaff,
             params: cfg.params,
             backend: BackendKind::Paper,
+            decode: DecodeOptions::strict(),
         }
     }
 
@@ -89,6 +93,15 @@ impl LiveScenario {
     #[must_use]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The same scenario decoded with `decode` instead. Like
+    /// [`with_backend`](Self::with_backend), the corpus is unchanged —
+    /// only how the bound correlators treat empty matching sets.
+    #[must_use]
+    pub fn with_decode(mut self, decode: DecodeOptions) -> Self {
+        self.decode = decode;
         self
     }
 
@@ -110,6 +123,7 @@ impl LiveScenario {
             chaff: 0.5,
             params: WatermarkParams::small(),
             backend: BackendKind::Paper,
+            decode: DecodeOptions::strict(),
         }
     }
 
@@ -179,12 +193,13 @@ impl fmt::Display for LiveReport {
         let s = &self.scenario;
         writeln!(
             f,
-            "monitor replay: {} upstreams, {} decoys, {} candidate pairs, {} shards, backend {}",
+            "monitor replay: {} upstreams, {} decoys, {} candidate pairs, {} shards, backend {}, decode {}",
             s.upstreams,
             s.decoys,
             s.candidate_pairs(),
             s.shards,
-            s.backend
+            s.backend,
+            s.decode.mode
         )?;
         writeln!(
             f,
@@ -266,8 +281,13 @@ pub(crate) fn build_corpus(
         let marked = marker.embed(&original, &watermark)?;
         let correlator =
             WatermarkCorrelator::new(marker, watermark, scenario.delta, Algorithm::GreedyPlus);
-        let bound =
-            correlator.bind_backend(scenario.backend, scenario.chaff, &original, &marked)?;
+        let bound = correlator.bind_backend_with(
+            scenario.backend,
+            scenario.decode,
+            scenario.chaff,
+            &original,
+            &marked,
+        )?;
         monitor.register_upstream(UpstreamId(i as u64), bound.clone());
         correlators.push(bound);
         suspicious.push((FlowId(i as u64), attack(&marked, branch.child(3))));

@@ -99,6 +99,9 @@ pub struct CellOutcome {
     pub missed: u32,
     /// Pairs that ended degraded.
     pub degraded: u32,
+    /// Effective deletions the cell's channel inflicted (see
+    /// [`crate::scenario_run::ScenarioOutcome::erasures`]).
+    pub erasures: u64,
     /// The run's verdict digest (see
     /// [`crate::scenario_run::ScenarioOutcome::verdict_digest`]).
     pub verdict_digest: u64,
@@ -132,7 +135,7 @@ impl MatrixReport {
                 "\n    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"seed\": {}, \
                  \"digest\": \"{:016x}\", \"events\": {}, \"true_positives\": {}, \
                  \"false_positives\": {}, \"missed\": {}, \"degraded\": {}, \
-                 \"verdict_digest\": \"{:016x}\"}}",
+                 \"erasures\": {}, \"verdict_digest\": \"{:016x}\"}}",
                 c.scenario,
                 c.backend,
                 c.seed,
@@ -142,6 +145,7 @@ impl MatrixReport {
                 c.false_positives,
                 c.missed,
                 c.degraded,
+                c.erasures,
                 c.verdict_digest,
             ));
         }
@@ -161,13 +165,13 @@ impl fmt::Display for MatrixReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<16} {:<8} {:>6} {:>4} {:>4} {:>7} {:>9}  verdict-digest",
-            "scenario", "backend", "seed", "tp", "fp", "missed", "degraded"
+            "{:<16} {:<8} {:>6} {:>4} {:>4} {:>7} {:>9} {:>9}  verdict-digest",
+            "scenario", "backend", "seed", "tp", "fp", "missed", "degraded", "erasures"
         )?;
         for c in &self.cells {
             writeln!(
                 f,
-                "{:<16} {:<8} {:>6} {:>4} {:>4} {:>7} {:>9}  {:016x}",
+                "{:<16} {:<8} {:>6} {:>4} {:>4} {:>7} {:>9} {:>9}  {:016x}",
                 c.scenario,
                 c.backend,
                 c.seed,
@@ -175,6 +179,7 @@ impl fmt::Display for MatrixReport {
                 c.false_positives,
                 c.missed,
                 c.degraded,
+                c.erasures,
                 c.verdict_digest,
             )?;
         }
@@ -267,7 +272,7 @@ pub fn matrix_cell_main(
     writeln!(
         output,
         "cell scenario={} backend={} seed={} digest={:016x} events={} tp={} fp={} \
-         missed={} degraded={} vdigest={:016x}",
+         missed={} degraded={} erasures={} vdigest={:016x}",
         spec.name,
         spec.backend.name(),
         spec.seed,
@@ -277,6 +282,7 @@ pub fn matrix_cell_main(
         outcome.false_positives,
         outcome.missed,
         outcome.degraded,
+        outcome.erasures,
         outcome.verdict_digest(),
     )
     .map_err(|e| (exit_run_error, format!("cannot write result: {e}")))?;
@@ -297,6 +303,7 @@ fn parse_cell_line(line: &str, cell: &MatrixCell) -> Option<CellOutcome> {
         false_positives: 0,
         missed: 0,
         degraded: 0,
+        erasures: 0,
         verdict_digest: 0,
     };
     let mut seen = 0u32;
@@ -324,12 +331,13 @@ fn parse_cell_line(line: &str, cell: &MatrixCell) -> Option<CellOutcome> {
             "fp" => outcome.false_positives = value.parse().ok()?,
             "missed" => outcome.missed = value.parse().ok()?,
             "degraded" => outcome.degraded = value.parse().ok()?,
+            "erasures" => outcome.erasures = value.parse().ok()?,
             "vdigest" => outcome.verdict_digest = u64::from_str_radix(value, 16).ok()?,
             _ => return None,
         }
         seen += 1;
     }
-    if seen == 10 && outcome.digest == cell.spec.digest() {
+    if seen == 11 && outcome.digest == cell.spec.digest() {
         Some(outcome)
     } else {
         None
@@ -546,6 +554,7 @@ mod tests {
             false_positives: 0,
             missed: 0,
             degraded: 0,
+            erasures: 0,
             verdict_digest: 0xabc,
         });
         report.cells.push(CellOutcome {
@@ -558,6 +567,7 @@ mod tests {
             false_positives: 1,
             missed: 1,
             degraded: 0,
+            erasures: 17,
             verdict_digest: 0xdef,
         });
         report.cells.sort();

@@ -310,6 +310,7 @@ fn finish(inner: &Inner, id: u64, result: Result<ScenarioOutcome, String>) {
                 false_positives: outcome.false_positives,
                 missed: outcome.missed,
                 degraded: outcome.degraded,
+                erasures: outcome.erasures,
                 verdicts: outcome.verdicts,
             };
             if let Some(err) = outcome.stream_error {
@@ -531,12 +532,13 @@ fn session_json(session: &Session) -> String {
     let outcome = match &session.outcome {
         Some(o) => format!(
             "{{\"events\":{},\"true_positives\":{},\"false_positives\":{},\"missed\":{},\
-             \"degraded\":{},\"verdicts\":{},\"verdict_digest\":\"{:016x}\"}}",
+             \"degraded\":{},\"erasures\":{},\"verdicts\":{},\"verdict_digest\":\"{:016x}\"}}",
             o.events,
             o.true_positives,
             o.false_positives,
             o.missed,
             o.degraded,
+            o.erasures,
             o.verdicts.len(),
             fnv1a(o.canonical_verdicts().as_bytes()),
         ),

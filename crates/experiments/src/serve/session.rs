@@ -87,6 +87,9 @@ pub struct StoredOutcome {
     pub missed: u32,
     /// Pairs that ended degraded.
     pub degraded: u32,
+    /// Effective channel deletions (see
+    /// [`crate::scenario_run::ScenarioOutcome::erasures`]).
+    pub erasures: u64,
     /// Canonical verdict lines, sorted.
     pub verdicts: Vec<VerdictLine>,
 }

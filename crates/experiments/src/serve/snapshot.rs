@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic  "SSNP"            4 bytes
-//! version u16              currently 1
+//! version u16              currently 2 (v2 added erasures to outcome)
 //! checksum u32             FNV-1a/64 of the payload, low 32 bits
 //! payload_len u32
 //! payload:
@@ -17,6 +17,7 @@
 //!     pcap: u8 flag + len u32 (≤ MAX_PCAP_BYTES) + bytes
 //!     error: u8 flag + len u32 (≤ MAX_ERROR_BYTES) + utf-8 bytes
 //!     outcome: u8 flag + events u64 + tp/fp/missed/degraded u32×4
+//!              + erasures u64
 //!              + verdict_count u32 (≤ MAX_VERDICTS)
 //!              + per verdict: upstream u64, flow u64, kind u8
 //! ```
@@ -45,8 +46,10 @@ use crate::serve::session::{Session, SessionStatus, SessionTable, StoredOutcome,
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"SSNP";
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version. Version 2 added the outcome's `erasures`
+/// counter; v1 snapshots are refused (re-run their sessions instead —
+/// specs re-run deterministically, which is the whole recovery story).
+pub const VERSION: u16 = 2;
 /// Largest capture a session snapshot stores (matches the HTTP body
 /// cap, so anything accepted over the wire fits).
 pub const MAX_PCAP_BYTES: usize = 8 * 1024 * 1024;
@@ -136,6 +139,7 @@ pub fn encode(table: &SessionTable) -> Vec<u8> {
                 put_u32(&mut payload, outcome.false_positives);
                 put_u32(&mut payload, outcome.missed);
                 put_u32(&mut payload, outcome.degraded);
+                put_u64(&mut payload, outcome.erasures);
                 put_u32(&mut payload, outcome.verdicts.len() as u32);
                 for v in &outcome.verdicts {
                     put_u64(&mut payload, v.upstream);
@@ -230,6 +234,7 @@ pub fn decode(bytes: &[u8]) -> Result<SessionTable, SnapshotError> {
             let false_positives = r.u32()?;
             let missed = r.u32()?;
             let degraded = r.u32()?;
+            let erasures = r.u64()?;
             let verdict_count = r.u32()? as usize;
             if verdict_count > MAX_VERDICTS {
                 return Err(SnapshotError::CapExceeded("verdict count"));
@@ -252,6 +257,7 @@ pub fn decode(bytes: &[u8]) -> Result<SessionTable, SnapshotError> {
                 false_positives,
                 missed,
                 degraded,
+                erasures,
                 verdicts,
             })
         } else {
@@ -389,6 +395,7 @@ mod tests {
                         false_positives: 0,
                         missed: 0,
                         degraded: 0,
+                        erasures: 21,
                         verdicts: vec![VerdictLine {
                             upstream: 0,
                             flow: 0,

@@ -5,7 +5,7 @@
 //! | 0 | success |
 //! | 1 | usage/runtime error |
 //! | 3 | stream error / failed matrix cells |
-//! | 4 | unknown backend |
+//! | 4 | unknown backend / unknown decode mode |
 //! | 5 | bad scenario |
 //! | 6 | bad snapshot |
 //!
@@ -98,6 +98,20 @@ fn exit_4_on_an_unknown_backend_axis() {
     assert_eq!(output.status.code(), Some(4));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("unknown backend"), "stderr: {stderr}");
+}
+
+#[test]
+fn exit_4_on_an_unknown_decode_mode() {
+    let output = repro()
+        .args(["--scenario", "quick-smoke", "--decode", "bogus", "scenario"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(output.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown decode mode"), "stderr: {stderr}");
+    // The error names the valid modes, like the backend twin above.
+    assert!(stderr.contains("strict"), "stderr: {stderr}");
+    assert!(stderr.contains("robust"), "stderr: {stderr}");
 }
 
 #[test]

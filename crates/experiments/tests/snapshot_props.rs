@@ -76,6 +76,7 @@ fn table_strategy() -> impl Strategy<Value = SessionTable> {
                         false_positives: fp,
                         missed,
                         degraded,
+                        erasures: events.rotate_right(9),
                         verdicts,
                     }),
                 }

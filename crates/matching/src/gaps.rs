@@ -1,0 +1,354 @@
+//! Gap-tolerant matching sets: the deletion-robust relaxation of the
+//! paper's §3.2 abort rule.
+//!
+//! Under §2 assumption 1 an empty matching set proves two flows
+//! unrelated, so [`Matcher::matching_sets`] returns `None` and the
+//! decode aborts. On a lossy channel that proof is unsound: a deleted
+//! downstream packet empties its upstream packet's window exactly the
+//! same way. [`GappedSets`] keeps the two-pointer scan and the
+//! tightening rule but *charges an erasure* instead of aborting — the
+//! slot is marked erased, imposes no order constraint, and the decoder
+//! runs over what survives. The caller holds the erasure count against
+//! its budget; the structure itself never fails.
+
+use stepstone_flow::Flow;
+
+use crate::cost::CostMeter;
+use crate::sets::Matcher;
+
+/// Matching sets `M(p₁)…M(pₙ)` where an empty set is an *erased slot*
+/// (a suspected deletion) rather than a contradiction.
+///
+/// Erased slots stay in the sequence — indices still line up with
+/// upstream packets — but expose no candidates and are skipped by the
+/// tightening propagation: surviving packets must still match in
+/// strictly increasing downstream order *across* the gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GappedSets {
+    sets: Vec<Vec<u32>>,
+    erased: Vec<bool>,
+    suspicious_len: usize,
+}
+
+impl GappedSets {
+    /// Computes gap-tolerant matching sets with the same two-pointer
+    /// scan and size-class filter as [`Matcher::matching_sets`],
+    /// marking every empty set erased instead of returning `None`.
+    /// Charges `meter` identically (one access per pointer advance and
+    /// per candidate recorded).
+    ///
+    /// Never fails: any pair of flows, however damaged, yields a
+    /// structure (possibly with every slot erased).
+    pub fn compute(
+        matcher: &Matcher,
+        upstream: &Flow,
+        suspicious: &Flow,
+        meter: &mut CostMeter,
+    ) -> Self {
+        let n = upstream.len();
+        let m = suspicious.len();
+        let mut sets = Vec::with_capacity(n);
+        let mut erased = Vec::with_capacity(n);
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for i in 0..n {
+            let t = upstream.timestamp(i);
+            let latest = t + matcher.delta();
+            while lo < m && suspicious.timestamp(lo) < t {
+                meter.charge_one();
+                lo += 1;
+            }
+            if hi < lo {
+                hi = lo;
+            }
+            while hi < m && suspicious.timestamp(hi) <= latest {
+                meter.charge_one();
+                hi += 1;
+            }
+            let mut set: Vec<u32> = Vec::with_capacity(hi - lo);
+            let class = matcher
+                .size_quantum()
+                .map(|q| (upstream[i].size().div_ceil(q), q));
+            for j in lo..hi {
+                meter.charge_one();
+                if let Some((c, q)) = class {
+                    if suspicious[j].size().div_ceil(q) != c {
+                        continue;
+                    }
+                }
+                set.push(j as u32);
+            }
+            erased.push(set.is_empty());
+            sets.push(set);
+        }
+        GappedSets {
+            sets,
+            erased,
+            suspicious_len: m,
+        }
+    }
+
+    /// Builds gapped sets directly (tests and simulation helpers); an
+    /// empty set is an erased slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set is unsorted, contains duplicates, or
+    /// references an index at or beyond `suspicious_len`.
+    pub fn from_sets(sets: Vec<Vec<u32>>, suspicious_len: usize) -> Self {
+        for (i, set) in sets.iter().enumerate() {
+            assert!(
+                set.windows(2).all(|w| w[0] < w[1]),
+                "matching set {i} must be strictly sorted"
+            );
+            if let Some(&last) = set.last() {
+                assert!(
+                    (last as usize) < suspicious_len,
+                    "matching set {i} references an out-of-range packet"
+                );
+            }
+        }
+        let erased = sets.iter().map(Vec::is_empty).collect();
+        GappedSets {
+            sets,
+            erased,
+            suspicious_len,
+        }
+    }
+
+    /// Number of upstream packets `n` (erased slots included).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when there are no upstream packets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Length of the suspicious flow `m`.
+    pub const fn suspicious_len(&self) -> usize {
+        self.suspicious_len
+    }
+
+    /// `true` when slot `i` is erased (its packet is presumed deleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_erased(&self, i: usize) -> bool {
+        self.erased[i]
+    }
+
+    /// How many slots are erased.
+    pub fn erasures(&self) -> usize {
+        self.erased.iter().filter(|&&e| e).count()
+    }
+
+    /// The candidates of upstream packet `i`, sorted ascending; empty
+    /// for an erased slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// The earliest candidate of upstream packet `i`; `None` for an
+    /// erased slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn first(&self, i: usize) -> Option<u32> {
+        self.sets[i].first().copied()
+    }
+
+    /// The latest candidate of upstream packet `i`; `None` for an
+    /// erased slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn last(&self, i: usize) -> Option<u32> {
+        self.sets[i].last().copied()
+    }
+
+    /// Total number of candidates across all sets (`Σ |M(pᵢ)|`).
+    pub fn total_candidates(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// The gap-tolerant interval tightening: the same forward/backward
+    /// propagation as [`super::MatchingSets::tighten`], but skipping
+    /// erased slots (a deleted packet imposes no order constraint) and
+    /// marking any set that drains *erased* instead of failing, then
+    /// repeating until no pass erases anything — a newly erased slot
+    /// relaxes its neighbours' bounds, so propagation must re-run
+    /// through the gap. Terminates in at most `n + 1` passes: each
+    /// non-final pass erases at least one of the `n` slots.
+    ///
+    /// Charges `meter` per dropped candidate, as the strict rule does.
+    /// Returns the number of slots newly erased by this call.
+    pub fn tighten(&mut self, meter: &mut CostMeter) -> usize {
+        let before = self.erasures();
+        loop {
+            let mut pass_erased = false;
+            // Forward: a candidate of the current live slot must be
+            // strictly after the previous live slot's earliest.
+            let mut min_excl: Option<u32> = None;
+            for i in 0..self.sets.len() {
+                if self.erased[i] {
+                    continue;
+                }
+                let set = &mut self.sets[i];
+                if let Some(bound) = min_excl {
+                    let keep_from = set.partition_point(|&c| c <= bound);
+                    meter.charge(keep_from as u64);
+                    set.drain(..keep_from);
+                    if set.is_empty() {
+                        self.erased[i] = true;
+                        pass_erased = true;
+                        continue;
+                    }
+                }
+                min_excl = Some(set[0]);
+            }
+            // Backward: a candidate of the current live slot must be
+            // strictly before the next live slot's latest.
+            let mut max_excl: Option<u32> = None;
+            for i in (0..self.sets.len()).rev() {
+                if self.erased[i] {
+                    continue;
+                }
+                let set = &mut self.sets[i];
+                if let Some(bound) = max_excl {
+                    let keep_to = set.partition_point(|&c| c < bound);
+                    meter.charge((set.len() - keep_to) as u64);
+                    set.truncate(keep_to);
+                    if set.is_empty() {
+                        self.erased[i] = true;
+                        pass_erased = true;
+                        continue;
+                    }
+                }
+                max_excl = set.last().copied();
+            }
+            if !pass_erased {
+                break;
+            }
+        }
+        self.erasures() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_flow::{Flow, TimeDelta, Timestamp};
+
+    fn flow(secs: &[f64]) -> Flow {
+        Flow::from_timestamps(secs.iter().map(|&s| Timestamp::from_secs_f64(s))).unwrap()
+    }
+
+    fn gapped(up: &[f64], down: &[f64], delta_s: f64) -> GappedSets {
+        let mut meter = CostMeter::new();
+        GappedSets::compute(
+            &Matcher::new(TimeDelta::from_secs_f64(delta_s)),
+            &flow(up),
+            &flow(down),
+            &mut meter,
+        )
+    }
+
+    #[test]
+    fn matches_strict_sets_when_nothing_is_deleted() {
+        let g = gapped(&[0.0, 1.0, 2.0], &[0.4, 1.2, 1.4, 2.3], 1.0);
+        assert_eq!(g.erasures(), 0);
+        assert_eq!(g.set(0), &[0]);
+        assert_eq!(g.set(1), &[1, 2]);
+        assert_eq!(g.set(2), &[3]);
+        assert_eq!(g.first(1), Some(1));
+        assert_eq!(g.last(1), Some(2));
+        assert_eq!(g.total_candidates(), 4);
+    }
+
+    #[test]
+    fn deleted_packet_becomes_an_erasure_not_an_abort() {
+        // Upstream packet at 10.0 has no window candidate: the strict
+        // matcher returns None, the gapped one charges one erasure.
+        let g = gapped(&[0.0, 10.0, 20.0], &[0.5, 20.5], 1.0);
+        assert_eq!(g.erasures(), 1);
+        assert!(g.is_erased(1));
+        assert_eq!(g.first(1), None);
+        assert_eq!(g.set(0), &[0]);
+        assert_eq!(g.set(2), &[1]);
+    }
+
+    #[test]
+    fn fully_unmatched_flows_erase_every_slot() {
+        let g = gapped(&[100.0, 200.0], &[0.5], 1.0);
+        assert_eq!(g.erasures(), 2);
+        assert!(g.is_erased(0) && g.is_erased(1));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn tighten_skips_gaps_but_propagates_across_them() {
+        // Slot 1 erased; slots 0 and 2 share {3, 4}: order still forces
+        // 0 → 3 and 2 → 4 across the gap.
+        let mut g = GappedSets::from_sets(vec![vec![3, 4], vec![], vec![3, 4]], 6);
+        let mut meter = CostMeter::new();
+        assert_eq!(g.tighten(&mut meter), 0);
+        assert_eq!(g.set(0), &[3]);
+        assert_eq!(g.set(2), &[4]);
+        assert_eq!(g.erasures(), 1);
+    }
+
+    #[test]
+    fn tighten_erases_drained_slots_and_reruns_to_fixpoint() {
+        // Slots 0 and 1 both see only {3}: one of them must drain. The
+        // drained slot becomes an erasure and the rest still decodes.
+        let mut g = GappedSets::from_sets(vec![vec![3], vec![3], vec![4, 5]], 6);
+        let mut meter = CostMeter::new();
+        assert_eq!(g.tighten(&mut meter), 1);
+        assert_eq!(g.erasures(), 1);
+        assert!(g.is_erased(1));
+        assert_eq!(g.set(0), &[3]);
+    }
+
+    #[test]
+    fn tighten_matches_the_strict_rule_on_clean_input() {
+        let mut g = GappedSets::from_sets(vec![vec![5, 6, 7], vec![5, 6, 7], vec![5, 6, 7]], 10);
+        let mut meter = CostMeter::new();
+        assert_eq!(g.tighten(&mut meter), 0);
+        assert_eq!(g.set(0), &[5]);
+        assert_eq!(g.set(1), &[6]);
+        assert_eq!(g.set(2), &[7]);
+        assert!(meter.count() > 0);
+    }
+
+    #[test]
+    fn tighten_is_idempotent() {
+        let mut g = GappedSets::from_sets(vec![vec![0, 1, 2], vec![], vec![1, 2, 3]], 6);
+        let mut meter = CostMeter::new();
+        let _ = g.tighten(&mut meter);
+        let once = g.clone();
+        assert_eq!(g.tighten(&mut meter), 0);
+        assert_eq!(g, once);
+    }
+
+    #[test]
+    fn empty_upstream_yields_empty_sets() {
+        let g = gapped(&[], &[1.0], 1.0);
+        assert!(g.is_empty());
+        assert_eq!(g.erasures(), 0);
+        assert_eq!(g.suspicious_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_sets_rejects_unsorted() {
+        let _ = GappedSets::from_sets(vec![vec![3, 2]], 5);
+    }
+}

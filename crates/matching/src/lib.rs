@@ -40,9 +40,11 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod gaps;
 mod order;
 mod sets;
 
 pub use cost::CostMeter;
+pub use gaps::GappedSets;
 pub use order::{is_order_consistent, latest_before, Selection};
 pub use sets::{Matcher, MatchingSets};

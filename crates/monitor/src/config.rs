@@ -58,6 +58,18 @@ pub struct MonitorConfig {
     /// dropped decode attempts (full shard queues). `None` (default)
     /// never sheds — backpressure only drops individual attempts.
     pub shed_after_drops: Option<u64>,
+    /// Decode every batch boundary, deterministically. By default the
+    /// engine trades coverage for liveness: a pair whose decode is
+    /// still in flight skips its boundary, and a full shard queue
+    /// drops the attempt — so *which* windows get decoded depends on
+    /// worker timing. With this set, the engine snapshots a decode at
+    /// every boundary and blocks ingest (pumping completions) when a
+    /// queue is full, making the decoded-window set — and therefore
+    /// every terminal verdict — a pure function of the ingested event
+    /// stream. Scenario replays set this to honour the verdict-digest
+    /// reproducibility contract; live captures keep the default, where
+    /// shedding load beats stalling the wire.
+    pub deterministic_schedule: bool,
     /// Watchdog threshold: a shard whose queue is non-empty but whose
     /// worker heartbeat is older than this is flagged stalled. `None`
     /// (default) disables the watchdog thread entirely.
@@ -81,6 +93,7 @@ impl Default for MonitorConfig {
             registry: None,
             fault_hook: None,
             shed_after_drops: None,
+            deterministic_schedule: false,
             stall_timeout: None,
             restart_backoff: Duration::from_millis(5),
             restart_backoff_cap: Duration::from_millis(500),
@@ -152,6 +165,14 @@ impl MonitorConfig {
     #[must_use]
     pub fn with_shed_after_drops(mut self, drops: u64) -> Self {
         self.shed_after_drops = Some(drops);
+        self
+    }
+
+    /// Decodes every batch boundary deterministically (see
+    /// [`deterministic_schedule`](Self::deterministic_schedule)).
+    #[must_use]
+    pub fn with_deterministic_schedule(mut self) -> Self {
+        self.deterministic_schedule = true;
         self
     }
 

@@ -5,7 +5,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
 
-use stepstone_core::{BackendKind, BoundCorrelator};
+use stepstone_core::{BackendKind, BoundCorrelator, Correlation};
 use stepstone_flow::{Packet, SlidingWindow, Timestamp};
 use stepstone_telemetry::{span, Registry};
 
@@ -32,10 +32,55 @@ struct PairState {
     decodes: u32,
     /// Hamming distance of the most recent completed decode.
     last_hamming: Option<u32>,
+    /// A robust decode reported erasure demand beyond the budget. Once
+    /// set, the pair can never end `Cleared` — the graceful-degradation
+    /// ladder turns every would-be clean negative into
+    /// [`DegradeReason::ErasureBudget`].
+    budget_blown: bool,
+    /// Erasures reported by the most recent budget-blowing decode.
+    erasures: u32,
+    /// Decided-bit confidence of that decode (percent).
+    confidence: u8,
     /// A terminal verdict was emitted for the pair — latched
     /// `Correlated`, shed, or stall-degraded. The pair is done: no more
     /// scheduling, and the shutdown sweep skips it.
     resolved: bool,
+}
+
+impl PairState {
+    /// Folds one robust decode outcome into the ladder state; a no-op
+    /// for strict decodes (`outcome.robust` is `None`).
+    fn note_robust(&mut self, outcome: &Correlation) {
+        if let Some(r) = outcome.robust {
+            if r.budget_blown {
+                self.budget_blown = true;
+                self.erasures = r.erasures;
+                self.confidence = r.confidence_pct;
+            }
+        }
+    }
+
+    /// The terminal verdict for a pair ending without a correlation:
+    /// `Cleared` when every decode stayed within the erasure budget,
+    /// `Degraded` otherwise — a blown budget means the decodes could
+    /// not see enough of the flow to vouch for a clean negative.
+    fn terminal_negative(&self, pair: PairId) -> Verdict {
+        if self.budget_blown {
+            Verdict::Degraded {
+                pair,
+                reason: DegradeReason::ErasureBudget {
+                    erasures: self.erasures,
+                    confidence: self.confidence,
+                },
+            }
+        } else {
+            Verdict::Cleared {
+                pair,
+                hamming: self.last_hamming,
+                decodes: self.decodes,
+            }
+        }
+    }
 }
 
 /// One tracked suspicious flow.
@@ -136,10 +181,14 @@ impl Control {
             Some(s) => s.pairs.get_mut(&pair.upstream),
             None => None,
         };
+        if let Some(r) = outcome.robust {
+            self.metrics.decode_erasures.add(u64::from(r.erasures));
+        }
         if let Some(state) = state {
             state.in_flight = false;
             state.decodes += 1;
             state.last_hamming = outcome.hamming;
+            state.note_robust(&outcome);
             if outcome.correlated && !state.resolved {
                 state.resolved = true;
                 self.metrics.pairs_latched.inc();
@@ -156,6 +205,8 @@ impl Control {
             // the pair's terminal word. (The pair left the active
             // gauge when its flow was evicted.)
             state.decodes += 1;
+            state.last_hamming = outcome.hamming;
+            state.note_robust(&outcome);
             if outcome.correlated {
                 self.metrics.pairs_latched.inc();
                 self.emit(Verdict::Correlated {
@@ -164,11 +215,7 @@ impl Control {
                     cost: outcome.cost + outcome.matching_cost,
                 });
             } else {
-                self.emit(Verdict::Cleared {
-                    pair,
-                    hamming: outcome.hamming,
-                    decodes: state.decodes,
-                });
+                self.emit(state.terminal_negative(pair));
             }
         }
     }
@@ -422,12 +469,10 @@ impl Monitor {
                     self.control.orphans.insert(pair, state);
                 } else {
                     // Terminal even when never decoded: an eviction
-                    // must not silently drop a registered pair.
-                    self.control.emit(Verdict::Cleared {
-                        pair,
-                        hamming: state.last_hamming,
-                        decodes: state.decodes,
-                    });
+                    // must not silently drop a registered pair. A pair
+                    // whose robust decodes blew the erasure budget ends
+                    // `Degraded` here, never falsely `Cleared`.
+                    self.control.emit(state.terminal_negative(pair));
                 }
             }
             self.control.emit(Verdict::Evicted { flow: id, idle });
@@ -606,11 +651,10 @@ impl Monitor {
         }
         remaining.sort_by_key(|&(flow, upstream, _)| (flow, upstream));
         for (flow, upstream, state) in remaining {
-            self.control.emit(Verdict::Cleared {
-                pair: PairId { upstream, flow },
-                hamming: state.last_hamming,
-                decodes: state.decodes,
-            });
+            // The degradation ladder applies to the shutdown sweep too:
+            // budget-blown pairs end `Degraded`, not `Cleared`.
+            self.control
+                .emit(state.terminal_negative(PairId { upstream, flow }));
         }
         let stats = self.stats();
         MonitorReport {
@@ -695,10 +739,20 @@ impl Monitor {
     /// The window size a pair needs before decoding is worthwhile: a
     /// complete matching needs at least as many suspicious packets as
     /// upstream packets, clamped to what the window can ever hold.
+    ///
+    /// Under `--decode robust` the requirement relaxes by the erasure
+    /// budget: deletions make a genuine downstream flow *shorter* than
+    /// its upstream, and the robust decode is built to absorb exactly
+    /// that many missing packets.
     fn min_window_for(&self, correlator: &BoundCorrelator) -> usize {
-        correlator
-            .upstream()
-            .len()
+        let decode = correlator.decode_options();
+        let full = correlator.upstream().len();
+        let needed = if decode.is_robust() {
+            full.saturating_sub(decode.erasure_budget as usize)
+        } else {
+            full
+        };
+        needed
             .min(self.config.window_capacity)
             .max(self.config.min_window.min(self.config.window_capacity))
             .max(1)
@@ -727,8 +781,11 @@ impl Monitor {
                 }
                 btree_map::Entry::Occupied(entry) => entry.into_mut(),
             };
+            // Deterministic mode never skips a boundary for an
+            // in-flight decode: multiple jobs for one pair may queue,
+            // and `absorb` tolerates completions in any order.
             if state.resolved
-                || state.in_flight
+                || (state.in_flight && !self.config.deterministic_schedule)
                 || suspect.window.len() < min_window
                 || suspect.window.pushed() - state.decoded_through < self.config.decode_batch as u64
             {
@@ -743,6 +800,34 @@ impl Monitor {
                 pushed,
             };
             let shard = (pair.shard_hash() % self.shards.len() as u64) as usize;
+            if self.config.deterministic_schedule {
+                // Blocking push, as in the shutdown flush: the decoded
+                // windows must be a pure function of the event stream,
+                // so a full queue stalls ingest (while the pump keeps
+                // completions draining) instead of dropping the
+                // attempt. The disjoint `control`/`shards`/`supervisor`
+                // borrows make the callback legal.
+                let sender = &self.shards[shard];
+                let control = &mut self.control;
+                let supervisor = &mut self.supervisor;
+                let done_rx = &self.done_rx;
+                let accepted = sender
+                    .push_blocking(job, || control.pump(done_rx, &mut *supervisor))
+                    .is_ok();
+                if accepted {
+                    self.control.metrics.decodes_scheduled.inc();
+                    if let Some(state) = self
+                        .control
+                        .suspects
+                        .get_mut(&flow)
+                        .and_then(|s| s.pairs.get_mut(&upstream))
+                    {
+                        state.in_flight = true;
+                        state.decoded_through = pushed;
+                    }
+                }
+                continue;
+            }
             match self.shards[shard].try_push(job) {
                 Ok(()) => {
                     self.drop_streak = 0;

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use stepstone_core::BackendKind;
+use stepstone_core::{BackendKind, DecodeMode};
 use stepstone_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::queue::ShardGauges;
@@ -61,6 +61,12 @@ pub(crate) struct EngineMetrics {
     /// indexed by [`BackendKind::index`] then 0 = correlated,
     /// 1 = cleared.
     pub backend_verdicts: Vec<[Arc<Counter>; 2]>,
+    /// Erased upstream slots reported by robust decodes; stays zero
+    /// under `--decode strict`.
+    pub decode_erasures: Arc<Counter>,
+    /// Decode latency split by decode mode, indexed by
+    /// [`DecodeMode::index`].
+    pub mode_decode_latency: Vec<Arc<Histogram>>,
 }
 
 impl EngineMetrics {
@@ -168,6 +174,20 @@ impl EngineMetrics {
                             "Terminal verdicts emitted, by correlator backend and kind",
                         ),
                     ]
+                })
+                .collect(),
+            decode_erasures: r.counter(
+                "monitor_decode_erasures_total",
+                "Erased upstream slots reported by robust decodes",
+            ),
+            mode_decode_latency: DecodeMode::ALL
+                .iter()
+                .map(|mode| {
+                    r.histogram_with(
+                        "monitor_mode_decode_latency_micros",
+                        &[("decode", mode.name())],
+                        "Wall-clock decode latency in microseconds, by decode mode",
+                    )
                 })
                 .collect(),
             registry,

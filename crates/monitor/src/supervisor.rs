@@ -144,6 +144,7 @@ fn panicked_outcome() -> Correlation {
         cost: 0,
         matching_cost: 0,
         completed: false,
+        robust: None,
     }
 }
 
@@ -203,18 +204,22 @@ fn worker_loop(ctx: WorkerContext) {
         span!(ctx.metrics.registry.spans(), "decode");
         let backend_latency =
             Arc::clone(&ctx.metrics.backend_decode_latency[job.correlator.backend().index()]);
+        let mode_latency =
+            Arc::clone(&ctx.metrics.mode_decode_latency[job.correlator.decode_mode().index()]);
         let outcome = time!(ctx.metrics.decode_latency, {
             time!(backend_latency, {
-                run_contained(
-                    || {
-                        if matches!(fault, DecodeFault::Panic) {
-                            // Quiet unwind, caught by the containment.
-                            std::panic::resume_unwind(Box::new(InjectedPanic));
-                        }
-                        job.correlator.correlate(&job.window)
-                    },
-                    &ctx.metrics.worker_panics,
-                )
+                time!(mode_latency, {
+                    run_contained(
+                        || {
+                            if matches!(fault, DecodeFault::Panic) {
+                                // Quiet unwind, caught by the containment.
+                                std::panic::resume_unwind(Box::new(InjectedPanic));
+                            }
+                            job.correlator.correlate(&job.window)
+                        },
+                        &ctx.metrics.worker_panics,
+                    )
+                })
             })
         });
         ctx.metrics.decodes_run.inc();
@@ -530,6 +535,7 @@ mod tests {
             cost: 3,
             matching_cost: 4,
             completed: true,
+            robust: None,
         };
         let got = run_contained(|| ok.clone(), &panics);
         assert!(got.correlated);

@@ -73,15 +73,34 @@ pub enum DegradeReason {
     /// The pair was shed under sustained backpressure (lowest-priority
     /// pairs — fewest window packets — go first).
     Shed,
+    /// Under `--decode robust` the pair's erasure demand exceeded the
+    /// configured budget: too many upstream packets had no downstream
+    /// candidate for the decode to vouch for a clean negative. The
+    /// graceful-degradation ladder reports this instead of a false
+    /// `Cleared`.
+    ErasureBudget {
+        /// Erased upstream slots observed by the pair's worst decode.
+        erasures: u32,
+        /// Decided-bit fraction (percent) of that decode — how much of
+        /// the watermark the verdict is actually based on.
+        confidence: u8,
+    },
 }
 
 impl fmt::Display for DegradeReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            DegradeReason::WorkerLost => "worker lost",
-            DegradeReason::Stalled => "shard stalled",
-            DegradeReason::Shed => "load shed",
-        })
+        match self {
+            DegradeReason::WorkerLost => f.write_str("worker lost"),
+            DegradeReason::Stalled => f.write_str("shard stalled"),
+            DegradeReason::Shed => f.write_str("load shed"),
+            DegradeReason::ErasureBudget {
+                erasures,
+                confidence,
+            } => write!(
+                f,
+                "erasure budget blown ({erasures} erasures, {confidence}% confidence)"
+            ),
+        }
     }
 }
 

@@ -230,3 +230,77 @@ fn eviction_with_inflight_decode_still_resolves_the_pair() {
     assert_eq!(report.stats.flows_evicted, 1);
     assert_eq!(report.stats.decodes_scheduled, report.stats.decodes_run);
 }
+
+/// The graceful-degradation ladder: under `--decode robust` a pair
+/// whose erasure demand exceeds the budget must never end `Cleared` —
+/// the shutdown sweep turns the would-be clean negative into
+/// `Degraded(ErasureBudget)`, while a genuinely matching (if lossy)
+/// flow still correlates.
+#[test]
+fn blown_erasure_budget_degrades_instead_of_clearing() {
+    use stepstone_core::DecodeOptions;
+    use stepstone_monitor::DegradeReason;
+
+    let n = 400;
+    let original = interactive(n, 11);
+    let marker = IpdWatermarker::new(WatermarkKey::new(11 ^ 0xABC), WatermarkParams::small());
+    let watermark = Watermark::random(8, &mut WatermarkKey::new(11).rng(1));
+    let marked = marker.embed(&original, &watermark).unwrap();
+    let correlator = WatermarkCorrelator::new(
+        marker,
+        watermark,
+        TimeDelta::from_secs(2),
+        Algorithm::GreedyPlus,
+    )
+    .with_decode(DecodeOptions::robust(40));
+    let mut monitor = Monitor::new(MonitorConfig::default().with_shards(1));
+    monitor.register_upstream(UpstreamId(0), correlator.bind(&original, &marked).unwrap());
+
+    // Flow 0: the marked flow with a 30-packet burst deleted. The burst
+    // spans far more than Δ, so the affected slots have genuinely empty
+    // matching sets — erasures within budget; the pair must still
+    // correlate on the surviving bits.
+    let lossy = Flow::from_packets(
+        marked
+            .packets()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(100..130).contains(i))
+            .map(|(_, &p)| p),
+    )
+    .unwrap();
+    for &p in lossy.packets() {
+        monitor.ingest(FlowId(0), p);
+    }
+    // Flow 1: an unrelated flow — its erasure demand dwarfs the budget.
+    let decoy = interactive(n + 40, 999);
+    for &p in decoy.packets() {
+        monitor.ingest(FlowId(1), p);
+    }
+
+    let report = monitor.finish();
+    assert_one_terminal_verdict_per_pair(&report.verdicts, 2);
+    let mut correlated = 0;
+    let mut degraded = 0;
+    for v in &report.verdicts {
+        match v {
+            Verdict::Correlated { pair, .. } => {
+                assert_eq!(pair.flow, FlowId(0), "only the lossy copy correlates");
+                correlated += 1;
+            }
+            Verdict::Degraded { pair, reason } => {
+                assert_eq!(pair.flow, FlowId(1), "only the decoy degrades");
+                assert!(
+                    matches!(reason, DegradeReason::ErasureBudget { erasures, .. } if *erasures > 40),
+                    "unexpected degrade reason {reason}"
+                );
+                degraded += 1;
+            }
+            Verdict::Cleared { pair, .. } => {
+                panic!("pair {pair:?} cleared despite a blown erasure budget")
+            }
+            Verdict::Evicted { .. } => {}
+        }
+    }
+    assert_eq!((correlated, degraded), (1, 1), "{:?}", report.verdicts);
+}

@@ -43,6 +43,6 @@ mod spec;
 pub use error::ScenarioError;
 pub use preset::{all as all_presets, preset, preset_text};
 pub use spec::{
-    fnv1a, Backend, Chaff, ChaosProfile, Repacketize, ScenarioSpec, Traffic, MAX_FLOWS,
+    fnv1a, Backend, Chaff, ChaosProfile, Decode, Repacketize, ScenarioSpec, Traffic, MAX_FLOWS,
     MAX_PACKETS, MAX_SHARDS, MAX_SPEC_BYTES,
 };

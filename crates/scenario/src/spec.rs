@@ -19,6 +19,8 @@
 //! repacketize = none         # none | window-ms N
 //! chaos = none               # none | SEED PROFILE (mild|harsh|adversarial)
 //! backend = paper            # paper | elices | game
+//! decode = strict            # strict | robust (deletion-tolerant)
+//! erasure-budget = 64        # robust mode: erased slots tolerated per decode
 //! wm-bits = 8                # watermark length l
 //! wm-redundancy = 2          # redundancy r
 //! wm-offset = 1              # pair offset d
@@ -170,6 +172,38 @@ impl fmt::Display for Backend {
     }
 }
 
+/// The decode-mode names, mirroring `stepstone_core::DecodeMode`
+/// (pinned by a consistency test in the experiments crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decode {
+    /// The paper's strict decoder: an unmatched upstream packet proves
+    /// the flows unrelated (assumption 1).
+    #[default]
+    Strict,
+    /// The deletion-tolerant decoder: unmatched packets become
+    /// erasures, bounded by `erasure-budget`.
+    Robust,
+}
+
+impl Decode {
+    /// Every decode mode, in spec order.
+    pub const ALL: [Decode; 2] = [Decode::Strict, Decode::Robust];
+
+    /// The DSL token for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            Decode::Strict => "strict",
+            Decode::Robust => "robust",
+        }
+    }
+}
+
+impl fmt::Display for Decode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One named, reproducible correlation scenario: traffic mix, corpus
 /// sizing, adversary pipeline, chaos channel, backend and thresholds.
 /// Everything a run needs is derived from these fields plus the seed,
@@ -207,6 +241,11 @@ pub struct ScenarioSpec {
     pub chaos: Option<(u64, ChaosProfile)>,
     /// Correlator backend every upstream registers with.
     pub backend: Backend,
+    /// Decode mode every backend runs with.
+    pub decode: Decode,
+    /// Erased upstream slots a robust decode tolerates before its
+    /// verdict degrades (ignored under strict decode).
+    pub erasure_budget: u32,
     /// Watermark length `l` in bits.
     pub wm_bits: usize,
     /// Redundancy `r`.
@@ -238,6 +277,8 @@ impl ScenarioSpec {
             repacketize: Repacketize::None,
             chaos: None,
             backend: Backend::Paper,
+            decode: Decode::Strict,
+            erasure_budget: 64,
             wm_bits: 8,
             wm_redundancy: 2,
             wm_offset: 1,
@@ -334,6 +375,9 @@ impl ScenarioSpec {
                 return fail("repacketize window-ms must be in 1..=60000".to_string());
             }
         }
+        if self.erasure_budget as usize > MAX_PACKETS {
+            return fail(format!("erasure-budget must be ≤ {MAX_PACKETS}"));
+        }
         if self.wm_bits == 0 || self.wm_bits > 64 {
             return fail("wm-bits must be in 1..=64".to_string());
         }
@@ -417,6 +461,8 @@ impl ScenarioSpec {
             },
         );
         kv("backend", self.backend.name().to_string());
+        kv("decode", self.decode.name().to_string());
+        kv("erasure-budget", self.erasure_budget.to_string());
         kv("wm-bits", self.wm_bits.to_string());
         kv("wm-redundancy", self.wm_redundancy.to_string());
         kv("wm-offset", self.wm_offset.to_string());
@@ -573,6 +619,18 @@ fn apply(
                 }
             }
         }
+        "decode" => {
+            spec.decode = match value {
+                "strict" => Decode::Strict,
+                "robust" => Decode::Robust,
+                other => {
+                    return Err(bad(format!(
+                        "unknown decode mode {other:?}; valid: strict, robust"
+                    )))
+                }
+            }
+        }
+        "erasure-budget" => spec.erasure_budget = value.parse().map_err(|e| bad(format!("{e}")))?,
         "wm-bits" => spec.wm_bits = count(value)?,
         "wm-redundancy" => spec.wm_redundancy = count(value)?,
         "wm-offset" => spec.wm_offset = count(value)?,
@@ -744,6 +802,23 @@ mod tests {
         assert!(spec.canonical().contains("chaos = 44 harsh\n"));
         assert!(ScenarioSpec::parse("name = c\nchaos = 44 bogus\n").is_err());
         assert!(ScenarioSpec::parse("name = c\nchaos = nope\n").is_err());
+    }
+
+    #[test]
+    fn decode_mode_parses_and_round_trips() {
+        let spec = ScenarioSpec::parse("name = r\ndecode = robust\nerasure-budget = 48\n")
+            .expect("parses");
+        assert_eq!(spec.decode, Decode::Robust);
+        assert_eq!(spec.erasure_budget, 48);
+        let canon = spec.canonical();
+        assert!(canon.contains("decode = robust\n"), "{canon}");
+        assert!(canon.contains("erasure-budget = 48\n"), "{canon}");
+        assert_eq!(ScenarioSpec::parse(&canon).expect("round-trips"), spec);
+        assert!(matches!(
+            ScenarioSpec::parse("name = r\ndecode = fuzzy\n"),
+            Err(ScenarioError::BadValue { key, .. }) if key == "decode"
+        ));
+        assert!(ScenarioSpec::parse("name = r\nerasure-budget = 999999999\n").is_err());
     }
 
     #[test]

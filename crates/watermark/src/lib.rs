@@ -61,6 +61,7 @@ mod key;
 mod layout;
 mod marker;
 mod params;
+mod soft;
 mod watermark;
 
 pub use error::WatermarkError;
@@ -68,4 +69,5 @@ pub use key::WatermarkKey;
 pub use layout::{BitLayout, PairRef};
 pub use marker::IpdWatermarker;
 pub use params::WatermarkParams;
+pub use soft::SoftWatermark;
 pub use watermark::Watermark;

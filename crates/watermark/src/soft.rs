@@ -1,0 +1,191 @@
+//! Soft-decision watermarks: per-bit decodes that may be *erased*.
+//!
+//! The strict decoder reads every bit's sign from a complete matching;
+//! the deletion-robust decoder cannot — a bit whose embedding packets
+//! were deleted downstream has no decode statistic at all. Following
+//! the erasure-channel treatment of invisible flow watermarks (Gong &
+//! Kiyavash, arXiv 1302.5734), such bits are carried as `None` rather
+//! than guessed: Hamming comparison runs over the decided bits only,
+//! and the decided fraction is the decode's confidence.
+
+use std::fmt;
+
+use crate::watermark::Watermark;
+
+/// An `l`-bit watermark decode where each bit is `Some(value)` or
+/// erased (`None`).
+///
+/// # Example
+///
+/// ```
+/// use stepstone_watermark::{SoftWatermark, Watermark};
+///
+/// let soft = SoftWatermark::from_bits([Some(true), None, Some(false), Some(true)]);
+/// assert_eq!(soft.decided(), 3);
+/// assert_eq!(soft.erased(), 1);
+/// assert_eq!(soft.to_string(), "1?01");
+/// let wanted = Watermark::from_bits([true, true, true, true]);
+/// assert_eq!(soft.hamming_to(&wanted), 1); // the erased bit never counts
+/// assert_eq!(soft.confidence_pct(), 75);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SoftWatermark {
+    bits: Vec<Option<bool>>,
+}
+
+impl SoftWatermark {
+    /// Creates a soft watermark from explicit per-bit decisions.
+    pub fn from_bits<I>(bits: I) -> Self
+    where
+        I: IntoIterator<Item = Option<bool>>,
+    {
+        SoftWatermark {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// Number of bits `l` (decided and erased).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` for the degenerate zero-length watermark.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The decision for the bit at `index` (`None` = erased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn bit(&self, index: usize) -> Option<bool> {
+        self.bits[index]
+    }
+
+    /// How many bits carry a decision.
+    pub fn decided(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// How many bits are erased.
+    pub fn erased(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// Hamming distance to `wanted` over the *decided* bits only —
+    /// erased bits neither match nor mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ — comparing watermarks of different
+    /// schemes is a logic error.
+    pub fn hamming_to(&self, wanted: &Watermark) -> u32 {
+        assert_eq!(
+            self.len(),
+            wanted.len(),
+            "hamming distance requires equal-length watermarks"
+        );
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| matches!(b, Some(v) if *v != wanted.bit(*i)))
+            .count() as u32
+    }
+
+    /// The decided fraction as a percentage in `0..=100` (0 for the
+    /// zero-length watermark) — the robust decode's confidence field.
+    pub fn confidence_pct(&self) -> u8 {
+        if self.bits.is_empty() {
+            0
+        } else {
+            (self.decided() * 100 / self.bits.len()) as u8
+        }
+    }
+
+    /// Collapses to a hard [`Watermark`], reading erased bits as
+    /// `fill`. Lossy; reporting paths that keep the erasure marks
+    /// should render the soft form instead.
+    pub fn to_watermark(&self, fill: bool) -> Watermark {
+        self.bits.iter().map(|b| b.unwrap_or(fill)).collect()
+    }
+}
+
+impl fmt::Display for SoftWatermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            match b {
+                Some(v) => write!(f, "{}", u8::from(v))?,
+                None => f.write_str("?")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Option<bool>> for SoftWatermark {
+    fn from_iter<I: IntoIterator<Item = Option<bool>>>(iter: I) -> Self {
+        SoftWatermark::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = SoftWatermark::from_bits([Some(true), None, Some(false)]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.bit(0), Some(true));
+        assert_eq!(s.bit(1), None);
+        assert_eq!(s.decided(), 2);
+        assert_eq!(s.erased(), 1);
+    }
+
+    #[test]
+    fn hamming_skips_erased_bits() {
+        let s = SoftWatermark::from_bits([Some(true), None, Some(false), None]);
+        let w = Watermark::from_bits([false, false, false, true]);
+        assert_eq!(s.hamming_to(&w), 1);
+        let all_erased = SoftWatermark::from_bits([None, None, None, None]);
+        assert_eq!(all_erased.hamming_to(&w), 0);
+        assert_eq!(all_erased.decided(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_rejects_length_mismatch() {
+        let s = SoftWatermark::from_bits([Some(true)]);
+        let _ = s.hamming_to(&Watermark::from_bits([true, false]));
+    }
+
+    #[test]
+    fn confidence_is_the_decided_fraction() {
+        let s = SoftWatermark::from_bits([Some(true), None, Some(false), Some(true)]);
+        assert_eq!(s.confidence_pct(), 75);
+        assert_eq!(SoftWatermark::from_bits([]).confidence_pct(), 0);
+        let full = SoftWatermark::from_bits([Some(false); 8]);
+        assert_eq!(full.confidence_pct(), 100);
+    }
+
+    #[test]
+    fn collapse_fills_erasures() {
+        let s = SoftWatermark::from_bits([Some(true), None, Some(false)]);
+        assert_eq!(
+            s.to_watermark(false),
+            Watermark::from_bits([true, false, false])
+        );
+        assert_eq!(
+            s.to_watermark(true),
+            Watermark::from_bits([true, true, false])
+        );
+    }
+
+    #[test]
+    fn display_marks_erasures() {
+        let s: SoftWatermark = [Some(true), None, Some(false)].into_iter().collect();
+        assert_eq!(s.to_string(), "1?0");
+    }
+}
